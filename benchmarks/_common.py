@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it runs the
+relevant experiments, renders a paper-vs-measured report, prints it
+(visible with ``pytest -s``) and saves it under ``results/`` so
+EXPERIMENTS.md can reference the exact artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.server.configs import MachineConfig
+from repro.server.experiment import ExperimentResult, run_experiment
+from repro.units import MS
+from repro.workloads.base import Workload
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_report(name: str, text: str) -> Path:
+    """Print a report and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n[saved to {path}]")
+    return path
+
+
+def duration_for_rate(qps: float) -> int:
+    """Measurement window sized to the offered rate.
+
+    Low rates need long windows to observe enough idle periods; high
+    rates need fewer wall-clock seconds for the same request count.
+    """
+    if qps <= 0:
+        return 40 * MS
+    if qps <= 10_000:
+        return 250 * MS
+    if qps <= 50_000:
+        return 150 * MS
+    if qps <= 150_000:
+        return 100 * MS
+    return 60 * MS
+
+
+def measure(
+    workload: Workload,
+    config: MachineConfig,
+    seed: int = 1,
+    duration_ns: int | None = None,
+) -> ExperimentResult:
+    """Run one experiment with rate-appropriate windows."""
+    duration = duration_ns or duration_for_rate(workload.offered_qps)
+    return run_experiment(
+        workload,
+        config,
+        duration_ns=duration,
+        warmup_ns=max(20 * MS, duration // 6),
+        seed=seed,
+    )

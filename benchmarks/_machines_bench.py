@@ -1,0 +1,16 @@
+"""Machine helpers private to the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.server.configs import cdeep, cpc1a, cshallow
+from repro.server.machine import ServerMachine
+from repro.units import MS
+
+_BUILDERS = {"Cshallow": cshallow, "Cdeep": cdeep, "CPC1A": cpc1a}
+
+
+def settled_machine(config_name: str, settle_ns: int = 5 * MS) -> ServerMachine:
+    """A machine idled long enough to reach its deepest package state."""
+    machine = ServerMachine(_BUILDERS[config_name](), seed=3)
+    machine.sim.run(until_ns=settle_ns)
+    return machine

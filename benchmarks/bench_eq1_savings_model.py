@@ -1,0 +1,36 @@
+"""E3 — the Sec. 2 analytical savings model (Eq. 1).
+
+Reproduces the paper's three headline model numbers: ~23 % savings at 5 %
+load (57 % all-idle residency), ~17 % at 10 % load (39 % residency)
+and ~41 % for a fully idle server.
+"""
+
+import pytest
+
+from _common import save_report
+from repro.analysis.report import PaperComparison, comparison_table
+from repro.power.model import ResidencyWeightedModel
+
+#: (label, all-idle residency, paper savings %) from Sec. 2.
+PAPER_POINTS = [
+    ("5% load (R=57%)", 0.57, 23.0),
+    ("10% load (R=39%)", 0.39, 17.0),
+    ("idle server (R=100%)", 1.00, 41.0),
+]
+
+
+def bench_eq1_model(benchmark):
+    model = ResidencyWeightedModel(p_pc0_w=52.0)
+
+    def evaluate():
+        return [model.savings(r).savings_percent for _, r, _ in PAPER_POINTS]
+
+    measured = benchmark(evaluate)
+
+    rows = [
+        PaperComparison(label, paper, ours, unit="%", rel_tolerance=0.12)
+        for (label, _, paper), ours in zip(PAPER_POINTS, measured)
+    ]
+    save_report("eq1_savings_model", comparison_table(rows))
+    for row in rows:
+        assert row.measured == pytest.approx(row.paper, rel=0.12), row.metric

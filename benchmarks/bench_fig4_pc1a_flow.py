@@ -1,0 +1,84 @@
+"""E5 — Fig. 4 / Sec. 5.5: the PC1A entry/exit flow.
+
+Times the APMU flow on a live machine and compares against both the
+closed-form latency model and the paper's numbers: ~18 ns entry,
+~150 ns exit, <= 200 ns worst case, > 250x faster than PC6.
+"""
+
+import pytest
+
+from _common import save_report
+from _machines_bench import settled_machine
+from repro.analysis.report import format_table
+from repro.core.latency import Pc1aLatencyModel
+from repro.soc.package import PackageCState
+from repro.units import US
+
+
+def bench_pc1a_flow(benchmark):
+    model = Pc1aLatencyModel()
+    timings = {}
+
+    def run_flow():
+        machine = settled_machine("CPC1A")
+        apmu = machine.apmu
+        assert apmu.phase == "pc1a"
+        entry_ns = apmu.residency.residency_ns(PackageCState.TRANSITION.value)
+        woken = []
+        start = machine.sim.now
+        apmu.request_wake(lambda: woken.append(machine.sim.now))
+        machine.sim.run(until_ns=start + 5 * US)
+        timings["entry_ns"] = entry_ns
+        timings["exit_ns"] = woken[0] - start
+        timings["apmu_measured_exit"] = apmu.exit_latency_max_ns
+
+    benchmark.pedantic(run_flow, rounds=1, iterations=1)
+
+    total = timings["entry_ns"] + timings["exit_ns"]
+    rows = [
+        ["entry", f"{timings['entry_ns']} ns", f"{model.entry_ns} ns", "~18 ns"],
+        ["exit", f"{timings['exit_ns']} ns", f"{model.exit_ns} ns", "<=150 ns + cycles"],
+        ["entry+exit", f"{total} ns", f"{model.worst_case_transition_ns} ns", "<=200 ns"],
+        [
+            "speedup vs PC6",
+            f"{50_000 / total:.0f}x",
+            f"{model.speedup_vs_pc6:.0f}x",
+            ">250x",
+        ],
+    ]
+    breakdown = "\n".join(
+        f"  {step}: t+{offset} ns" for step, offset in model.entry_breakdown().items()
+    )
+    report = (
+        format_table(["phase", "simulated", "model", "paper"], rows)
+        + "\n\nEntry schedule (from the &InL0s edge):\n" + breakdown
+        + "\nExit branches (concurrent): "
+        + ", ".join(f"{k.split(':')[0]}={v} ns" for k, v in model.exit_breakdown().items())
+    )
+    save_report("fig4_pc1a_flow", report)
+
+    assert timings["entry_ns"] == model.entry_ns
+    assert timings["exit_ns"] == model.exit_ns
+    assert total <= 200
+    assert 50_000 / total > 250
+
+
+def bench_pc1a_transition_storm(benchmark):
+    """Throughput micro-bench: sustained PC1A enter/exit cycling."""
+
+    def storm():
+        machine = settled_machine("CPC1A")
+        apmu = machine.apmu
+        for _ in range(200):
+            apmu.gpmu_wakeup.set(True)
+            machine.sim.run(until_ns=machine.sim.now + 2 * US)
+        return apmu
+
+    apmu = benchmark.pedantic(storm, rounds=1, iterations=1)
+    assert apmu.pc1a_exits == 200
+    assert apmu.exit_latency_max_ns <= 200
+    save_report(
+        "fig4_pc1a_storm",
+        f"200 back-to-back PC1A transitions; max exit latency "
+        f"{apmu.exit_latency_max_ns} ns; mean {apmu.mean_exit_latency_ns:.0f} ns",
+    )

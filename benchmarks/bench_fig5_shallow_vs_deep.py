@@ -1,0 +1,59 @@
+"""E8 — Fig. 5: Cshallow vs Cdeep latency across Memcached load.
+
+Reproduces the motivation figure: enabling deep C-states (Cdeep)
+degrades average and tail latency, most visibly at low load where
+nearly every request eats a CC6/PC6 wake; Cshallow stays flat. The
+paper also observes a latency spike for Cdeep at high load caused by
+mispredicted deep sleeps.
+"""
+
+from _common import duration_for_rate, measure, save_report
+from repro.analysis.report import format_table
+from repro.server.configs import cdeep, cshallow
+from repro.workloads.memcached import MemcachedWorkload
+
+RATES = (4_000, 10_000, 25_000, 50_000, 100_000, 300_000)
+
+
+def bench_fig5(benchmark):
+    series = {}
+
+    def sweep():
+        for config_fn in (cshallow, cdeep):
+            points = []
+            for qps in RATES:
+                result = measure(MemcachedWorkload(qps), config_fn(), seed=1)
+                points.append(result)
+            series[config_fn().name] = points
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for qps, shallow, deep in zip(RATES, series["Cshallow"], series["Cdeep"]):
+        rows.append([
+            f"{qps // 1000}K",
+            f"{shallow.latency.mean_us:.0f}",
+            f"{deep.latency.mean_us:.0f}",
+            f"{shallow.latency.p99_us:.0f}",
+            f"{deep.latency.p99_us:.0f}",
+            f"{deep.pc6_entries}",
+        ])
+    report = (
+        format_table(
+            ["QPS", "avg Cshallow (us)", "avg Cdeep (us)",
+             "p99 Cshallow (us)", "p99 Cdeep (us)", "PC6 entries"],
+            rows,
+        )
+        + "\npaper shape: Cdeep avg/p99 above Cshallow, worst at low load"
+    )
+    save_report("fig5_shallow_vs_deep", report)
+
+    low_shallow, low_deep = series["Cshallow"][0], series["Cdeep"][0]
+    assert low_deep.latency.mean_us > low_shallow.latency.mean_us + 20
+    assert low_deep.latency.p99_us > low_shallow.latency.p99_us
+    # The gap narrows as load rises and CC6 stops being chosen.
+    gaps = [
+        deep.latency.mean_us - shallow.latency.mean_us
+        for shallow, deep in zip(series["Cshallow"], series["Cdeep"])
+    ]
+    assert gaps[0] > gaps[-1]

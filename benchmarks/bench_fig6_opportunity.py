@@ -1,0 +1,83 @@
+"""E9 — Fig. 6: PC1A opportunity for Memcached.
+
+Three sub-figures from one Cshallow sweep:
+(a) per-core CC0/CC1 residency vs load;
+(b) all-idle residency = PC1A opportunity (ground truth and the
+    SoCWatch 10 µs-floored view the paper reports);
+(c) the idle-period duration histogram — the paper highlights that at
+    low load ~60 % of fully idle periods last 20–200 µs: long enough
+    for PC1A's 200 ns transition, useless for PC6's > 50 µs.
+"""
+
+import pytest
+
+from _common import measure, save_report
+from repro.analysis.opportunity import opportunity_from_result
+from repro.analysis.report import PaperComparison, ascii_bars, comparison_table, format_table
+from repro.server.configs import cshallow
+from repro.workloads.memcached import MemcachedWorkload
+
+RATES = (4_000, 10_000, 25_000, 50_000, 75_000, 100_000)
+
+#: Paper Fig. 6(b) anchors: offered QPS -> all-idle residency.
+PAPER_RESIDENCY = {4_000: 0.77, 50_000: 0.20}
+
+
+def bench_fig6(benchmark):
+    points = {}
+
+    def sweep():
+        for qps in RATES:
+            result = measure(MemcachedWorkload(qps), cshallow(), seed=1)
+            points[qps] = opportunity_from_result(result)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{qps // 1000}K",
+            f"{p.cc0_fraction:.3f}",
+            f"{p.cc1_fraction:.3f}",
+            f"{p.all_idle_fraction:.3f}",
+            f"{p.socwatch_opportunity:.3f}",
+            f"{p.mean_idle_period_us:.0f} us",
+            f"{p.short_idle_share:.2f}",
+        ]
+        for qps, p in points.items()
+    ]
+    table = format_table(
+        ["QPS", "CC0", "CC1", "all-idle (truth)", "SoCWatch view",
+         "mean idle", "20-200us share"],
+        rows,
+    )
+    chart = ascii_bars(
+        [f"{qps // 1000}K" for qps in RATES],
+        [points[qps].all_idle_fraction for qps in RATES],
+    )
+    hist = points[4_000].idle_histogram
+    hist_chart = ascii_bars(list(hist.keys()), list(hist.values()))
+    comparisons = [
+        PaperComparison(
+            f"all-idle residency @ {qps // 1000}K QPS", paper,
+            points[qps].all_idle_fraction, rel_tolerance=0.15,
+        )
+        for qps, paper in PAPER_RESIDENCY.items()
+    ]
+    report = "\n\n".join([
+        "(a) core residency / (b) PC1A opportunity:\n" + table,
+        "(b) all-idle residency vs load:\n" + chart,
+        "(c) idle-period duration histogram @ 4K QPS:\n" + hist_chart,
+        comparison_table(comparisons),
+    ])
+    save_report("fig6_opportunity", report)
+
+    for row in comparisons:
+        assert row.measured == pytest.approx(row.paper, rel=0.2), row.metric
+    # Monotone decline of opportunity with load (Fig. 6(b)).
+    residencies = [points[qps].all_idle_fraction for qps in RATES]
+    assert residencies == sorted(residencies, reverse=True)
+    # SoCWatch never over-reports (Sec. 6).
+    for point in points.values():
+        assert point.socwatch_opportunity <= point.all_idle_fraction + 1e-9
+    # Fig. 6(c): the 20-200 us band dominates at low load.
+    assert points[4_000].short_idle_share > 0.4

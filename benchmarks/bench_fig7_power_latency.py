@@ -1,0 +1,138 @@
+"""E10/E11/E12 — Fig. 7: APC power savings and performance impact.
+
+(a) idle power across the three configurations;
+(b) Cshallow vs CPC1A power and savings across Memcached load;
+(c) average end-to-end latency impact of PC1A (direct paired
+    simulation *and* the paper's analytical transition model).
+"""
+
+import pytest
+
+from _common import measure, save_report
+from repro.analysis.perf import estimate_perf_impact
+from repro.analysis.report import PaperComparison, ascii_bars, comparison_table, format_table
+from repro.analysis.savings import savings_between
+from repro.server.configs import cdeep, cpc1a, cshallow
+from repro.workloads.base import NullWorkload
+from repro.workloads.memcached import MemcachedWorkload
+
+RATES = (4_000, 10_000, 25_000, 50_000, 75_000, 100_000)
+
+#: Paper Fig. 7(b) anchors: QPS -> savings percent.
+PAPER_SAVINGS = {0: 41.0, 4_000: 37.0, 50_000: 14.0}
+
+
+def bench_fig7a_idle_power(benchmark):
+    results = {}
+
+    def run_all():
+        for config_fn in (cshallow, cdeep, cpc1a):
+            results[config_fn().name] = measure(NullWorkload(), config_fn(), seed=1)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    paper = {"Cshallow": 49.5, "Cdeep": 12.5, "CPC1A": 29.1}
+    rows = [
+        PaperComparison(f"idle power {name}", paper[name],
+                        result.total_power_w, unit=" W", rel_tolerance=0.05)
+        for name, result in results.items()
+    ]
+    chart = ascii_bars(list(results), [r.total_power_w for r in results.values()],
+                       unit=" W")
+    save_report("fig7a_idle_power", comparison_table(rows) + "\n\n" + chart)
+    for row in rows:
+        assert row.measured == pytest.approx(row.paper, rel=0.05), row.metric
+
+
+def bench_fig7b_power_savings(benchmark):
+    points = []
+
+    def sweep():
+        idle_base = measure(NullWorkload(), cshallow(), seed=1)
+        idle_apc = measure(NullWorkload(), cpc1a(), seed=1)
+        points.append((0, savings_between(idle_base, idle_apc)))
+        for qps in RATES:
+            workload = MemcachedWorkload(qps)
+            base = measure(workload, cshallow(), seed=1)
+            apc = measure(workload, cpc1a(), seed=1)
+            points.append((qps, savings_between(base, apc)))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{qps // 1000}K",
+            f"{point.baseline_power_w:.1f}",
+            f"{point.apc_power_w:.1f}",
+            f"{point.savings_percent:.1f}%",
+            f"{point.pc1a_residency:.3f}",
+        ]
+        for qps, point in points
+    ]
+    table = format_table(
+        ["QPS", "Cshallow (W)", "CPC1A (W)", "savings", "PC1A residency"], rows
+    )
+    chart = ascii_bars(
+        [f"{qps // 1000}K" for qps, _ in points],
+        [point.savings_percent for _, point in points],
+        unit="%",
+    )
+    comparisons = [
+        PaperComparison(f"savings @ {qps // 1000}K QPS", paper,
+                        next(p for q, p in points if q == qps).savings_percent,
+                        unit="%", rel_tolerance=0.30)
+        for qps, paper in PAPER_SAVINGS.items()
+    ]
+    save_report(
+        "fig7b_power_savings",
+        table + "\n\n" + chart + "\n\n" + comparison_table(comparisons)
+        + "\npaper shape: savings decline monotonically from 41% (idle)",
+    )
+
+    savings = [point.savings_fraction for _, point in points]
+    assert savings == sorted(savings, reverse=True)  # monotone decline
+    assert savings[0] == pytest.approx(0.41, abs=0.02)  # idle anchor
+    for _, point in points:
+        assert point.apc_power_w <= point.baseline_power_w + 0.05
+
+
+def bench_fig7c_latency_impact(benchmark):
+    rows = []
+
+    def sweep():
+        for qps in RATES:
+            workload = MemcachedWorkload(qps)
+            base = measure(workload, cshallow(), seed=1)
+            apc = measure(workload, cpc1a(), seed=1)
+            model = estimate_perf_impact(apc, base.latency.mean_us)
+            measured_pct = (
+                100.0
+                * (apc.latency.mean_us - base.latency.mean_us)
+                / base.latency.mean_us
+            )
+            rows.append((qps, base, apc, model, measured_pct))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = format_table(
+        ["QPS", "avg base (us)", "avg APC (us)", "measured impact",
+         "model impact", "PC1A exits"],
+        [
+            [
+                f"{qps // 1000}K",
+                f"{base.latency.mean_us:.2f}",
+                f"{apc.latency.mean_us:.2f}",
+                f"{measured_pct:+.3f}%",
+                f"{model.relative_impact_percent:.4f}%",
+                f"{apc.pc1a_exits}",
+            ]
+            for qps, base, apc, model, measured_pct in rows
+        ],
+    )
+    save_report(
+        "fig7c_latency_impact",
+        table + "\npaper bound: < 0.1% average-latency impact at every rate",
+    )
+    for qps, base, apc, model, measured_pct in rows:
+        assert model.relative_impact_percent < 0.1, qps
+        assert measured_pct < 0.25, qps  # direct paired measurement

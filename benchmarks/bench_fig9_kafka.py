@@ -1,0 +1,74 @@
+"""E14 — Fig. 9: Kafka residency and power savings.
+
+(a) core C-state + PC1A residency for the low/high presets
+    (~8/16 % utilization; the paper estimates 47 % and 15 % PC1A
+    residency respectively);
+(b) average power reduction of CPC1A vs Cshallow (paper: 9–19 %).
+"""
+
+import pytest
+
+from _common import measure, save_report
+from repro.analysis.report import PaperComparison, comparison_table, format_table
+from repro.analysis.savings import savings_between
+from repro.server.configs import cpc1a, cshallow
+from repro.units import MS
+from repro.workloads.kafka import KafkaWorkload
+
+#: Paper anchors: preset -> (utilization, PC1A residency).
+PAPER_POINTS = {"low": (0.08, 0.47), "high": (0.16, 0.15)}
+DURATION = 300 * MS
+
+
+def bench_fig9_kafka(benchmark):
+    results = {}
+
+    def sweep():
+        for preset in ("low", "high"):
+            workload = KafkaWorkload(preset)
+            base = measure(workload, cshallow(), seed=2, duration_ns=DURATION)
+            apc = measure(workload, cpc1a(), seed=2, duration_ns=DURATION)
+            results[preset] = (base, apc, savings_between(base, apc))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            preset,
+            f"{base.utilization:.3f}",
+            f"{base.core_residency.get('CC1', 0):.3f}",
+            f"{base.all_idle_fraction:.3f}",
+            f"{apc.pc1a_residency():.3f}",
+            f"{savings.savings_percent:.1f}%",
+        ]
+        for preset, (base, apc, savings) in results.items()
+    ]
+    table = format_table(
+        ["rate", "util (CC0)", "CC1", "all-idle", "PC1A residency", "power savings"],
+        rows,
+    )
+    comparisons = []
+    for preset, (paper_util, paper_idle) in PAPER_POINTS.items():
+        base, apc, _ = results[preset]
+        comparisons.append(PaperComparison(
+            f"utilization ({preset})", paper_util, base.utilization,
+            rel_tolerance=0.20,
+        ))
+        comparisons.append(PaperComparison(
+            f"PC1A residency ({preset})", paper_idle, apc.pc1a_residency(),
+            rel_tolerance=0.25,
+        ))
+    save_report(
+        "fig9_kafka",
+        table + "\n\n" + comparison_table(comparisons)
+        + "\npaper: 15-47% PC1A residency; 9-19% power reduction",
+    )
+
+    for row in comparisons:
+        assert row.measured == pytest.approx(row.paper, rel=0.35), row.metric
+    for preset, (_, _, savings) in results.items():
+        assert 3.0 <= savings.savings_percent <= 22.0, preset
+    # Residency declines with load, as in the paper.
+    assert (
+        results["low"][1].pc1a_residency() > results["high"][1].pc1a_residency()
+    )

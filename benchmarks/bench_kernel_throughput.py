@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper figure — these keep the simulator's own performance
+observable so regressions in the event kernel or the machine model
+show up in CI. They use proper multi-round pytest-benchmark timing
+(the figure benches run once by design).
+"""
+
+from _common import save_report
+from repro.server.configs import cpc1a
+from repro.server.experiment import run_experiment
+from repro.sim.engine import Simulator
+from repro.units import MS
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def bench_event_kernel_100k_events(benchmark):
+    def run_events():
+        sim = Simulator()
+        remaining = [100_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(10, tick)
+
+        sim.schedule(10, tick)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run_events)
+    assert processed == 100_000
+
+
+def bench_machine_simulation_rate(benchmark):
+    def run_machine():
+        return run_experiment(
+            MemcachedWorkload(50_000),
+            cpc1a(),
+            duration_ns=20 * MS,
+            warmup_ns=5 * MS,
+            seed=6,
+        )
+
+    result = benchmark.pedantic(run_machine, rounds=3, iterations=1)
+    assert result.requests_completed > 500
+    save_report(
+        "kernel_throughput",
+        f"full CPC1A machine at 50K QPS: {result.requests_completed} requests "
+        f"in {result.duration_ns / MS:.0f} ms simulated time",
+    )

@@ -1,0 +1,66 @@
+"""E6/E7 — Sec. 5: area overhead and the PC1A power derivation.
+
+Two analytical reproductions: the < 0.75 % die-area budget
+(Sec. 5.1–5.3) including the 128- vs 512-bit interconnect sensitivity,
+and the Eq. 2/3 component-delta power derivation (Sec. 5.4) checked
+both with the paper's inputs and with our ledger's.
+"""
+
+import pytest
+
+from _common import save_report
+from repro.analysis.report import PaperComparison, comparison_table, format_table
+from repro.core.area import SkxAreaModel
+from repro.power.budgets import DEFAULT_BUDGET
+from repro.power.model import Pc1aPowerDerivation
+
+
+def bench_area_overhead(benchmark):
+    def evaluate():
+        return {
+            width: SkxAreaModel(interconnect_width_bits=width)
+            for width in (128, 256, 512)
+        }
+
+    models = benchmark(evaluate)
+    narrow = models[128]
+    rows = [[name, f"{fraction * 100:.4f} %"] for name, fraction in narrow.breakdown().items()]
+    rows.append(["TOTAL (128-bit interconnect)", f"{narrow.total_die_percent:.4f} %"])
+    for width in (256, 512):
+        rows.append(
+            [f"TOTAL ({width}-bit interconnect)", f"{models[width].total_die_percent:.4f} %"]
+        )
+    report = (
+        format_table(["component", "die area"], rows)
+        + "\npaper bound: < 0.75 % of an SKX die"
+    )
+    save_report("sec5_area_overhead", report)
+    assert narrow.total_die_percent < 0.75
+    assert models[512].total_die_percent < narrow.total_die_percent
+
+
+def bench_power_derivation(benchmark):
+    def evaluate():
+        return (
+            Pc1aPowerDerivation(),
+            Pc1aPowerDerivation.from_budget(DEFAULT_BUDGET),
+        )
+
+    paper, ours = benchmark(evaluate)
+    rows = [
+        PaperComparison("PsocPC1A (Eq. 2)", paper.p_soc_pc1a_w,
+                        ours.p_soc_pc1a_w, unit=" W", rel_tolerance=0.02),
+        PaperComparison("PdramPC1A (Eq. 3)", paper.p_dram_pc1a_w,
+                        ours.p_dram_pc1a_w, unit=" W", rel_tolerance=0.02),
+        PaperComparison("Pcores_diff", 12.1, ours.p_cores_diff_w, unit=" W",
+                        rel_tolerance=0.02),
+        PaperComparison("PIOs_diff", 3.5, ours.p_ios_diff_w, unit=" W",
+                        rel_tolerance=0.02),
+        PaperComparison("PPLLs_diff", 0.056, ours.p_plls_diff_w, unit=" W",
+                        rel_tolerance=0.02),
+        PaperComparison("Pdram_diff", 1.1, ours.p_dram_diff_w, unit=" W",
+                        rel_tolerance=0.02),
+    ]
+    save_report("sec5_power_derivation", comparison_table(rows))
+    for row in rows:
+        assert row.measured == pytest.approx(row.paper, rel=0.05), row.metric

@@ -1,0 +1,42 @@
+"""E1 — Table 1: power and transition latency per package C-state.
+
+Regenerates the paper's Table 1 two ways: from the analytical
+component ledger, and from full-machine simulations parked in each
+state. Asserts every row lands on the paper's numbers.
+"""
+
+import pytest
+
+from _common import measure, save_report
+from repro.analysis.report import PaperComparison, comparison_table
+from repro.analysis.tables import build_table1, format_table1
+from repro.server.configs import cdeep, cpc1a, cshallow
+from repro.workloads.base import NullWorkload
+
+#: Paper Table 1: total (SoC + DRAM) power per state.
+PAPER_TOTALS = {"PC0idle": 49.5, "PC6": 12.5, "PC1A": 29.1}
+
+
+def bench_table1(benchmark):
+    simulated = {}
+
+    def run_all():
+        simulated["PC0idle"] = measure(NullWorkload(), cshallow(), seed=1)
+        simulated["PC6"] = measure(NullWorkload(), cdeep(), seed=1)
+        simulated["PC1A"] = measure(NullWorkload(), cpc1a(), seed=1)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        PaperComparison(
+            f"{state} total power", PAPER_TOTALS[state],
+            simulated[state].total_power_w, unit=" W", rel_tolerance=0.05,
+        )
+        for state in ("PC0idle", "PC6", "PC1A")
+    ]
+    analytic = format_table1(build_table1())
+    report = analytic + "\n\nSimulated idle machines vs paper:\n" + comparison_table(rows)
+    save_report("table1_power_states", report)
+
+    for row in rows:
+        assert row.measured == pytest.approx(row.paper, rel=0.05), row.metric

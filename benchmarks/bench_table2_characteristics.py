@@ -1,0 +1,41 @@
+"""E2 — Table 2: package C-state characteristics.
+
+Regenerates the characteristics matrix and verifies the simulated
+machines actually exhibit each row: component states are inspected in
+situ for PC6 (Cdeep) and PC1A (CPC1A).
+"""
+
+from _common import save_report
+from _machines_bench import settled_machine
+from repro.analysis.tables import build_table2
+
+
+def bench_table2(benchmark):
+    checks = {}
+
+    def verify_in_situ():
+        apc = settled_machine("CPC1A")
+        checks["pc1a_plls_on"] = all(p.locked for p in apc.uncore_plls)
+        checks["pc1a_clm_retention"] = apc.clm.at_retention
+        checks["pc1a_pcie_l0s"] = all(
+            link.state == "L0s" for link in apc.links if "pcie" in link.name
+        )
+        checks["pc1a_upi_l0p"] = all(
+            link.state == "L0p" for link in apc.links if "upi" in link.name
+        )
+        checks["pc1a_dram_cke_off"] = all(
+            mc.state == "cke_off" for mc in apc.memory_controllers
+        )
+        deep = settled_machine("Cdeep")
+        checks["pc6_plls_off"] = all(not p.powered for p in deep.uncore_plls)
+        checks["pc6_links_l1"] = all(link.state == "L1" for link in deep.links)
+        checks["pc6_dram_self_refresh"] = all(
+            mc.state == "self_refresh" for mc in deep.memory_controllers
+        )
+
+    benchmark.pedantic(verify_in_situ, rounds=1, iterations=1)
+
+    lines = [build_table2(), "", "In-situ verification:"]
+    lines.extend(f"  {name}: {'OK' if ok else 'FAIL'}" for name, ok in checks.items())
+    save_report("table2_characteristics", "\n".join(lines))
+    assert all(checks.values()), checks

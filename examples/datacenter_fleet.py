@@ -1,0 +1,65 @@
+"""Fleet-level energy proportionality: the paper's datacenter framing.
+
+Sweeps a single server's power curve under Memcached for the baseline
+and APC configurations, lifts both to a 10-server fleet, and reports
+fleet power, annual energy and the Wong-Annavaram energy-
+proportionality score — quantifying the introduction's argument that
+agile package C-states attack exactly the 5-20 % utilization band
+where datacenters live.
+
+Run with::
+
+    python examples/datacenter_fleet.py
+"""
+
+from repro import MemcachedWorkload, NullWorkload, cpc1a, cshallow, run_experiment
+from repro.analysis import format_table
+from repro.analysis.cluster import FleetModel, PowerCurve, fleet_savings_percent
+from repro.units import MS
+
+SWEEP_QPS = (10_000, 40_000, 100_000, 300_000, 700_000)
+N_SERVERS = 10
+
+
+def server_curve(config_fn) -> PowerCurve:
+    results = [run_experiment(NullWorkload(), config_fn(),
+                              duration_ns=30 * MS, warmup_ns=10 * MS, seed=1)]
+    for qps in SWEEP_QPS:
+        results.append(run_experiment(
+            MemcachedWorkload(qps), config_fn(),
+            duration_ns=60 * MS, warmup_ns=15 * MS, seed=1,
+        ))
+    return PowerCurve.from_results(results, label=config_fn().name)
+
+
+def main() -> None:
+    base_curve = server_curve(cshallow)
+    apc_curve = server_curve(cpc1a)
+    base_fleet = FleetModel(curve=base_curve, n_servers=N_SERVERS)
+    apc_fleet = FleetModel(curve=apc_curve, n_servers=N_SERVERS)
+
+    peak_util = base_curve.utilizations[-1]
+    fleet_capacity = N_SERVERS * peak_util  # whole-server units
+    rows = []
+    for fraction in (0.1, 0.25, 0.5, 1.0):
+        load = fraction * fleet_capacity
+        rows.append([
+            f"{fraction:.0%} of measured peak",
+            f"{base_fleet.fleet_power_w(load):,.0f} W",
+            f"{apc_fleet.fleet_power_w(load):,.0f} W",
+            f"{fleet_savings_percent(base_fleet, apc_fleet, load):.1f}%",
+            f"{(base_fleet.annual_energy_kwh(load) - apc_fleet.annual_energy_kwh(load)):,.0f} kWh/yr",
+        ])
+    print(f"Fleet of {N_SERVERS} servers under Memcached:\n")
+    print(format_table(
+        ["aggregate load", "Cshallow fleet", "CPC1A fleet",
+         "savings", "energy saved"],
+        rows,
+    ))
+    print(f"\nEnergy-proportionality score (1.0 = ideal):"
+          f"  Cshallow {base_curve.proportionality_score():.3f}"
+          f"  ->  CPC1A {apc_curve.proportionality_score():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Memcached load sweep: the paper's Figs. 5-7 in one run.
+
+Sweeps the offered rate over the paper's low-load band (plus one high
+point), comparing all three configurations, and prints figure-shaped
+ASCII output: latency (Fig. 5), PC1A opportunity (Fig. 6) and power
+savings (Fig. 7(b)).
+
+Run with::
+
+    python examples/memcached_sweep.py
+"""
+
+from repro import MemcachedWorkload, cdeep, cpc1a, cshallow, run_experiment
+from repro.analysis import ascii_bars, format_table, savings_between
+from repro.units import MS
+
+RATES = (4_000, 10_000, 25_000, 50_000, 100_000)
+
+
+def window_for(qps: float) -> int:
+    return 250 * MS if qps <= 10_000 else 120 * MS
+
+
+def main() -> None:
+    rows, labels, idle_series, savings_series = [], [], [], []
+    for qps in RATES:
+        workload = MemcachedWorkload(qps)
+        results = {}
+        for config_fn in (cshallow, cdeep, cpc1a):
+            results[config_fn().name] = run_experiment(
+                workload, config_fn(), duration_ns=window_for(qps),
+                warmup_ns=30 * MS, seed=3,
+            )
+        base, deep, apc = (
+            results["Cshallow"], results["Cdeep"], results["CPC1A"]
+        )
+        savings = savings_between(base, apc)
+        labels.append(f"{qps // 1000}K")
+        idle_series.append(base.all_idle_fraction)
+        savings_series.append(savings.savings_percent)
+        rows.append([
+            f"{qps // 1000}K",
+            f"{base.latency.mean_us:.0f}/{deep.latency.mean_us:.0f}/"
+            f"{apc.latency.mean_us:.0f}",
+            f"{base.latency.p99_us:.0f}/{deep.latency.p99_us:.0f}/"
+            f"{apc.latency.p99_us:.0f}",
+            f"{base.total_power_w:.1f}/{deep.total_power_w:.1f}/"
+            f"{apc.total_power_w:.1f}",
+            f"{savings.savings_percent:.1f}%",
+        ])
+
+    print("Latency and power: Cshallow / Cdeep / CPC1A")
+    print(format_table(
+        ["QPS", "avg latency (us)", "p99 (us)", "SoC+DRAM power (W)",
+         "APC savings"],
+        rows,
+    ))
+    print("\nPC1A opportunity (all cores idle, Fig. 6(b)):")
+    print(ascii_bars(labels, idle_series))
+    print("\nAPC power savings vs Cshallow (Fig. 7(b)):")
+    print(ascii_bars(labels, savings_series, unit="%"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: measure what PC1A buys a Memcached server.
+
+Runs the same Memcached load on the paper's two relevant
+configurations — ``Cshallow`` (today's datacenter setup) and
+``CPC1A`` (Cshallow plus the AgilePkgC architecture) — with paired
+random seeds, then prints power, residency and latency side by side.
+
+Run with::
+
+    python examples/quickstart.py [qps]
+"""
+
+import sys
+
+from repro import MemcachedWorkload, cpc1a, cshallow, run_experiment
+from repro.analysis import format_table, savings_between
+from repro.units import MS
+
+
+def main(qps: float = 20_000) -> None:
+    workload = MemcachedWorkload(qps)
+    print(f"Memcached at {qps:,.0f} QPS "
+          f"(~{workload.expected_utilization():.0%} utilization) ...")
+
+    base = run_experiment(workload, cshallow(),
+                          duration_ns=200 * MS, warmup_ns=30 * MS, seed=7)
+    apc = run_experiment(workload, cpc1a(),
+                         duration_ns=200 * MS, warmup_ns=30 * MS, seed=7)
+    savings = savings_between(base, apc)
+
+    print(format_table(
+        ["metric", "Cshallow (baseline)", "CPC1A (AgilePkgC)"],
+        [
+            ["SoC+DRAM power", f"{base.total_power_w:.1f} W",
+             f"{apc.total_power_w:.1f} W"],
+            ["PC1A residency", "-", f"{apc.pc1a_residency():.1%}"],
+            ["all-cores-idle time", f"{base.all_idle_fraction:.1%}",
+             f"{apc.all_idle_fraction:.1%}"],
+            ["PC1A transitions", "-", f"{apc.pc1a_exits}"],
+            ["mean PC1A exit", "-", f"{apc.pc1a_mean_exit_ns:.0f} ns"],
+            ["avg latency", f"{base.latency.mean_us:.1f} us",
+             f"{apc.latency.mean_us:.1f} us"],
+            ["p99 latency", f"{base.latency.p99_us:.1f} us",
+             f"{apc.latency.p99_us:.1f} us"],
+        ],
+    ))
+    print(f"\nPower savings: {savings.savings_percent:.1f}% "
+          f"({savings.saved_watts:.1f} W) with "
+          f"{(apc.latency.mean_us / base.latency.mean_us - 1):+.3%} "
+          f"average latency impact.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 20_000)

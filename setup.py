@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable builds
+fail with ``invalid command 'bdist_wheel'``; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work. All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

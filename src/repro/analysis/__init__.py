@@ -1,0 +1,38 @@
+"""Analysis: turning experiment results into the paper's tables/figures.
+
+* :mod:`repro.analysis.savings` — baseline-vs-APC power comparison
+  (Fig. 7(a)/(b), Fig. 8(b), Fig. 9(b));
+* :mod:`repro.analysis.perf` — the paper's analytical performance
+  model (Fig. 7(c)): transitions x cost x woken cores / requests;
+* :mod:`repro.analysis.opportunity` — PC1A opportunity and idle-period
+  structure (Fig. 6);
+* :mod:`repro.analysis.tables` — Table 1 and Table 2 builders;
+* :mod:`repro.analysis.report` — text tables, ASCII charts and
+  paper-vs-measured comparison rows shared by benches and examples.
+"""
+
+from repro.analysis.savings import SavingsPoint, savings_between
+from repro.analysis.perf import PerfImpactEstimate, estimate_perf_impact
+from repro.analysis.opportunity import OpportunityPoint, opportunity_from_result
+from repro.analysis.tables import build_table1, build_table2
+from repro.analysis.report import (
+    ascii_bars,
+    format_table,
+    PaperComparison,
+    comparison_table,
+)
+
+__all__ = [
+    "SavingsPoint",
+    "savings_between",
+    "PerfImpactEstimate",
+    "estimate_perf_impact",
+    "OpportunityPoint",
+    "opportunity_from_result",
+    "build_table1",
+    "build_table2",
+    "ascii_bars",
+    "format_table",
+    "PaperComparison",
+    "comparison_table",
+]

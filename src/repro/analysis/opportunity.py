@@ -1,0 +1,53 @@
+"""PC1A opportunity analysis (paper Fig. 6).
+
+Packages the residency and idle-period observables of an experiment
+into the three views of Fig. 6: (a) per-core C-state residency,
+(b) all-idle (= PC1A opportunity) residency, both ground truth and
+SoCWatch-floored, and (c) the idle-period duration histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.server.experiment import ExperimentResult
+
+
+@dataclass(frozen=True)
+class OpportunityPoint:
+    """Fig. 6 observables at one offered rate."""
+
+    offered_qps: float
+    cc0_fraction: float
+    cc1_fraction: float
+    all_idle_fraction: float
+    socwatch_opportunity: float
+    periods_total: int
+    periods_dropped_by_floor: int
+    mean_idle_period_us: float
+    idle_histogram: dict[str, float]
+
+    @property
+    def short_idle_share(self) -> float:
+        """Fraction of idle periods in the 20–200 µs band (Fig. 6(c)).
+
+        The paper observes ~60 % of idle periods fall here at low
+        load — long enough for PC1A (200 ns transition), hopeless for
+        PC6 (> 50 µs transition).
+        """
+        return self.idle_histogram.get("20us-200us", 0.0)
+
+
+def opportunity_from_result(result: ExperimentResult) -> OpportunityPoint:
+    """Extract the Fig. 6 observables from one experiment result."""
+    return OpportunityPoint(
+        offered_qps=result.offered_qps,
+        cc0_fraction=result.core_residency.get("CC0", 0.0),
+        cc1_fraction=result.core_residency.get("CC1", 0.0),
+        all_idle_fraction=result.all_idle_fraction,
+        socwatch_opportunity=result.socwatch.socwatch_fraction,
+        periods_total=result.socwatch.periods_total,
+        periods_dropped_by_floor=result.socwatch.periods_dropped,
+        mean_idle_period_us=result.socwatch.mean_period_ns / 1_000.0,
+        idle_histogram=dict(result.idle_histogram),
+    )

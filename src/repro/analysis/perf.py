@@ -1,0 +1,75 @@
+"""The paper's analytical performance-impact model (Sec. 6/7.3).
+
+The model estimates average-latency degradation from three measured
+quantities: (1) the number of PC1A transitions in the window, (2) the
+distribution of the number of cores that become active after a fully
+idle period — each of those cores' first request pays the transition
+cost — and (3) the transition cost itself (<= 200 ns). The added
+latency amortized over all requests is
+
+    delta = transitions x cost x mean_active_after_idle / requests
+
+which the paper reports as < 0.1 % of end-to-end latency. We compute
+the same estimate from an APC experiment result, and tests compare it
+against the *directly simulated* paired latency difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.server.experiment import ExperimentResult
+
+
+@dataclass(frozen=True)
+class PerfImpactEstimate:
+    """Analytic latency impact of PC1A at one operating point."""
+
+    offered_qps: float
+    transitions: int
+    mean_active_after_idle: float
+    transition_cost_ns: int
+    requests: int
+    baseline_mean_latency_us: float
+
+    @property
+    def added_latency_ns_total(self) -> float:
+        """Total transition time charged to requests in the window."""
+        return self.transitions * self.transition_cost_ns * self.mean_active_after_idle
+
+    @property
+    def added_mean_latency_us(self) -> float:
+        """Average added latency per request, in microseconds."""
+        if self.requests == 0:
+            return 0.0
+        return self.added_latency_ns_total / self.requests / 1_000.0
+
+    @property
+    def relative_impact(self) -> float:
+        """Added latency relative to the baseline mean."""
+        if self.baseline_mean_latency_us <= 0:
+            return 0.0
+        return self.added_mean_latency_us / self.baseline_mean_latency_us
+
+    @property
+    def relative_impact_percent(self) -> float:
+        """Relative impact as a percentage (paper: < 0.1 %)."""
+        return 100.0 * self.relative_impact
+
+
+def estimate_perf_impact(
+    apc_result: ExperimentResult,
+    baseline_mean_latency_us: float,
+    transition_cost_ns: int = 200,
+) -> PerfImpactEstimate:
+    """Apply the paper's model to a measured APC run."""
+    if transition_cost_ns < 0:
+        raise ValueError(f"cost must be non-negative, got {transition_cost_ns}")
+    return PerfImpactEstimate(
+        offered_qps=apc_result.offered_qps,
+        transitions=apc_result.pc1a_exits,
+        mean_active_after_idle=apc_result.active_after_idle_mean,
+        transition_cost_ns=transition_cost_ns,
+        requests=max(1, apc_result.requests_completed),
+        baseline_mean_latency_us=baseline_mean_latency_us,
+    )

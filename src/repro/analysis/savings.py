@@ -1,0 +1,63 @@
+"""Power-savings comparison between a baseline and an APC run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.server.experiment import ExperimentResult
+
+
+@dataclass(frozen=True)
+class SavingsPoint:
+    """One operating point of the Fig. 7(b)/8(b)/9(b) comparisons."""
+
+    offered_qps: float
+    utilization: float
+    baseline_power_w: float
+    apc_power_w: float
+    pc1a_residency: float
+    all_idle_fraction: float
+
+    @property
+    def savings_fraction(self) -> float:
+        """Relative power reduction of APC over the baseline."""
+        if self.baseline_power_w <= 0:
+            return 0.0
+        return 1.0 - self.apc_power_w / self.baseline_power_w
+
+    @property
+    def savings_percent(self) -> float:
+        """Savings as a percentage."""
+        return 100.0 * self.savings_fraction
+
+    @property
+    def saved_watts(self) -> float:
+        """Absolute power reduction."""
+        return self.baseline_power_w - self.apc_power_w
+
+
+def savings_between(
+    baseline: ExperimentResult, apc: ExperimentResult
+) -> SavingsPoint:
+    """Build a savings point from a paired pair of experiment results.
+
+    The two results must come from the same workload at the same
+    offered rate (same seed recommended, for paired sampling).
+    """
+    if baseline.workload_name != apc.workload_name:
+        raise ValueError(
+            f"mismatched workloads: {baseline.workload_name!r} vs "
+            f"{apc.workload_name!r}"
+        )
+    if abs(baseline.offered_qps - apc.offered_qps) > 1e-9:
+        raise ValueError(
+            f"mismatched offered rates: {baseline.offered_qps} vs {apc.offered_qps}"
+        )
+    return SavingsPoint(
+        offered_qps=baseline.offered_qps,
+        utilization=baseline.utilization,
+        baseline_power_w=baseline.total_power_w,
+        apc_power_w=apc.total_power_w,
+        pc1a_residency=apc.pc1a_residency(),
+        all_idle_fraction=baseline.all_idle_fraction,
+    )

@@ -1,0 +1,93 @@
+"""Builders for the paper's Table 1 and Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.latency import Pc1aLatencyModel
+from repro.core.pc1a import table2_rows
+from repro.power.budgets import DEFAULT_BUDGET, SkxPowerBudget
+from repro.analysis.report import format_table
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: power and latency per package state."""
+
+    package_state: str
+    cores_state: str
+    latency_ns: int
+    soc_power_w: float
+    dram_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        """SoC + DRAM."""
+        return self.soc_power_w + self.dram_power_w
+
+
+#: Paper Table 1 values for comparison (state -> (SoC W, DRAM W, latency ns)).
+TABLE1_PAPER = {
+    "PC0": (85.0, 7.0, 0),
+    "PC0idle": (44.0, 5.5, 0),
+    "PC6": (12.0, 0.5, 50_000),
+    "PC1A": (27.5, 1.6, 200),
+}
+
+
+def build_table1(
+    budget: SkxPowerBudget = DEFAULT_BUDGET,
+    latency: Pc1aLatencyModel | None = None,
+) -> list[Table1Row]:
+    """Table 1 from the component ledger and the latency model."""
+    latency = latency or Pc1aLatencyModel()
+    return [
+        Table1Row("PC0", ">=1 CC0", 0,
+                  budget.soc_power_w("PC0"), budget.dram_power_w("PC0") + 1.5),
+        Table1Row("PC0idle", "10 CC1", 0,
+                  budget.soc_power_w("PC0idle"), budget.dram_power_w("PC0idle")),
+        Table1Row("PC6", "10 CC6", latency.pc6_transition_ns,
+                  budget.soc_power_w("PC6"), budget.dram_power_w("PC6")),
+        Table1Row("PC1A", "10 CC1", latency.worst_case_transition_ns,
+                  budget.soc_power_w("PC1A"), budget.dram_power_w("PC1A")),
+    ]
+
+
+def format_table1(rows: list[Table1Row] | None = None) -> str:
+    """Render Table 1 next to the paper's values."""
+    rows = rows or build_table1()
+    body = []
+    for row in rows:
+        paper_soc, paper_dram, paper_lat = TABLE1_PAPER[row.package_state]
+        body.append([
+            row.package_state,
+            row.cores_state,
+            f"{row.latency_ns} ns" if row.latency_ns else "0",
+            f"{row.soc_power_w:.1f} W",
+            f"{row.dram_power_w:.2f} W",
+            f"{row.total_power_w:.1f} W",
+            f"{paper_soc:.1f}+{paper_dram:.1f} = {paper_soc + paper_dram:.1f} W",
+        ])
+    return format_table(
+        ["state", "cores", "latency", "SoC", "DRAM", "total", "paper"],
+        body,
+    )
+
+
+def build_table2() -> str:
+    """Render Table 2: package C-state characteristics."""
+    return format_table(
+        ["PCx", "cores in", "L3", "PLLs", "PCIe/DMI", "UPI", "DRAM"],
+        [
+            [
+                row.name,
+                row.cores_requirement,
+                row.l3_cache,
+                row.plls,
+                row.pcie_dmi,
+                row.upi,
+                row.dram,
+            ]
+            for row in table2_rows()
+        ],
+    )

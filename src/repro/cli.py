@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      one experiment (workload x config) with a result summary;
+``compare``  paired Cshallow-vs-CPC1A comparison at one load;
+``idle``     Table 1-style idle power across the three configs;
+``latency``  the PC1A transition-latency decomposition (Sec. 5.5);
+``area``     the APC area-overhead breakdown (Sec. 5.1-5.3);
+``export``   sweep a rate range and write the observables as CSV;
+``validate`` fast end-to-end check of the headline paper anchors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Sequence
+
+from repro.analysis.report import PaperComparison, comparison_table, format_table
+from repro.analysis.savings import savings_between
+from repro.core.area import SkxAreaModel
+from repro.core.latency import Pc1aLatencyModel
+from repro.server.configs import CONFIG_BUILDERS, config_by_name
+from repro.server.experiment import ExperimentResult, run_experiment
+from repro.units import MS
+from repro.workloads.base import NullWorkload, Workload
+from repro.workloads.kafka import KafkaWorkload
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.mysql import MySqlWorkload
+
+
+def build_workload(name: str, qps: float, preset: str) -> Workload:
+    """Instantiate a workload from CLI arguments."""
+    if name == "memcached":
+        return MemcachedWorkload(qps)
+    if name == "mysql":
+        return MySqlWorkload(preset)
+    if name == "kafka":
+        return KafkaWorkload(preset)
+    if name == "idle":
+        return NullWorkload()
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def summarize(result: ExperimentResult) -> str:
+    """Human-readable one-result summary."""
+    rows = [
+        ["config", result.config_name],
+        ["workload", result.workload_name],
+        ["offered QPS", f"{result.offered_qps:,.0f}"],
+        ["achieved QPS", f"{result.achieved_qps:,.0f}"],
+        ["utilization", f"{result.utilization:.1%}"],
+        ["all-cores-idle", f"{result.all_idle_fraction:.1%}"],
+        ["SoC power", f"{result.package_power_w:.2f} W"],
+        ["DRAM power", f"{result.dram_power_w:.2f} W"],
+        ["total power", f"{result.total_power_w:.2f} W"],
+        ["avg latency", f"{result.latency.mean_us:.1f} us"],
+        ["p99 latency", f"{result.latency.p99_us:.1f} us"],
+    ]
+    if result.package_residency:
+        dominant = max(result.package_residency, key=result.package_residency.get)
+        rows.append([
+            "dominant package state",
+            f"{dominant} ({result.package_residency[dominant]:.1%})",
+        ])
+    if result.pc1a_entries:
+        rows.append(["PC1A residency", f"{result.pc1a_residency():.1%}"])
+        rows.append(["PC1A transitions", f"{result.pc1a_exits}"])
+        rows.append(["mean PC1A exit", f"{result.pc1a_mean_exit_ns:.0f} ns"])
+    if result.pc6_entries:
+        rows.append(["PC6 residency", f"{result.pc6_residency():.1%}"])
+        rows.append(["PC6 entries", f"{result.pc6_entries}"])
+    return format_table(["metric", "value"], rows)
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="memcached",
+                        choices=["memcached", "mysql", "kafka", "idle"])
+    parser.add_argument("--qps", type=float, default=20_000,
+                        help="offered rate (memcached)")
+    parser.add_argument("--preset", default="low",
+                        help="mysql/kafka preset (low/mid/high)")
+    parser.add_argument("--duration-ms", type=int, default=100)
+    parser.add_argument("--warmup-ms", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload, args.qps, args.preset)
+    result = run_experiment(
+        workload, config_by_name(args.config),
+        duration_ns=args.duration_ms * MS, warmup_ns=args.warmup_ms * MS,
+        seed=args.seed,
+    )
+    print(summarize(result))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload, args.qps, args.preset)
+    results = {}
+    for name in ("Cshallow", "CPC1A"):
+        results[name] = run_experiment(
+            build_workload(args.workload, args.qps, args.preset),
+            config_by_name(name),
+            duration_ns=args.duration_ms * MS,
+            warmup_ns=args.warmup_ms * MS,
+            seed=args.seed,
+        )
+    point = savings_between(results["Cshallow"], results["CPC1A"])
+    print(summarize(results["CPC1A"]))
+    print(f"\npower savings vs Cshallow: {point.savings_percent:.1f}% "
+          f"({point.saved_watts:.2f} W)")
+    return 0
+
+
+def cmd_idle(args: argparse.Namespace) -> int:
+    rows = []
+    for name in CONFIG_BUILDERS:
+        result = run_experiment(
+            NullWorkload(), config_by_name(name),
+            duration_ns=20 * MS, warmup_ns=5 * MS, seed=args.seed,
+        )
+        rows.append([
+            name,
+            result.package_residency and max(
+                result.package_residency, key=result.package_residency.get
+            ),
+            f"{result.package_power_w:.2f} W",
+            f"{result.dram_power_w:.2f} W",
+            f"{result.total_power_w:.2f} W",
+        ])
+    print(format_table(["config", "package state", "SoC", "DRAM", "total"], rows))
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    model = Pc1aLatencyModel()
+    rows = [[step, f"t+{offset} ns"] for step, offset in model.entry_breakdown().items()]
+    rows.extend([branch, f"{ns} ns"] for branch, ns in model.exit_breakdown().items())
+    rows.append(["ENTRY total", f"{model.entry_ns} ns"])
+    rows.append(["EXIT total (max of branches)", f"{model.exit_ns} ns"])
+    rows.append(["worst-case transition", f"{model.worst_case_transition_ns} ns"])
+    rows.append(["speedup vs PC6", f"{model.speedup_vs_pc6:.0f}x"])
+    print(format_table(["step / branch", "time"], rows))
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    model = SkxAreaModel(interconnect_width_bits=args.width_bits)
+    rows = [[name, f"{100 * value:.4f} %"] for name, value in model.breakdown().items()]
+    rows.append(["TOTAL", f"{model.total_die_percent:.4f} %"])
+    print(format_table(["component", "die area"], rows))
+    return 0
+
+
+EXPORT_COLUMNS = (
+    "offered_qps",
+    "config",
+    "utilization",
+    "all_idle_fraction",
+    "pc1a_residency",
+    "pc6_residency",
+    "package_power_w",
+    "dram_power_w",
+    "total_power_w",
+    "mean_latency_us",
+    "p99_latency_us",
+    "pc1a_exits",
+    "requests_completed",
+)
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Sweep offered rates and dump the observables as CSV.
+
+    The CSV carries everything needed to re-plot the paper's
+    Memcached figures (6 and 7) with external tooling.
+    """
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    if not rates:
+        raise SystemExit("--rates must list at least one rate")
+    rows = []
+    for config_name in args.configs.split(","):
+        config = config_by_name(config_name.strip())
+        for qps in rates:
+            workload = (
+                NullWorkload() if qps == 0
+                else build_workload(args.workload, qps, args.preset)
+            )
+            result = run_experiment(
+                workload, config,
+                duration_ns=args.duration_ms * MS,
+                warmup_ns=args.warmup_ms * MS,
+                seed=args.seed,
+            )
+            rows.append({
+                "offered_qps": qps,
+                "config": config.name,
+                "utilization": round(result.utilization, 6),
+                "all_idle_fraction": round(result.all_idle_fraction, 6),
+                "pc1a_residency": round(result.pc1a_residency(), 6),
+                "pc6_residency": round(result.pc6_residency(), 6),
+                "package_power_w": round(result.package_power_w, 4),
+                "dram_power_w": round(result.dram_power_w, 4),
+                "total_power_w": round(result.total_power_w, 4),
+                "mean_latency_us": round(result.latency.mean_us, 3),
+                "p99_latency_us": round(result.latency.p99_us, 3),
+                "pc1a_exits": result.pc1a_exits,
+                "requests_completed": result.requests_completed,
+            })
+    with open(args.out, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=EXPORT_COLUMNS)
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"wrote {len(rows)} rows to {args.out}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    comparisons = []
+    for name, paper in (("Cshallow", 49.5), ("Cdeep", 12.5), ("CPC1A", 29.1)):
+        result = run_experiment(
+            NullWorkload(), config_by_name(name),
+            duration_ns=20 * MS, warmup_ns=5 * MS, seed=1,
+        )
+        comparisons.append(PaperComparison(
+            f"idle power {name}", paper, result.total_power_w,
+            unit=" W", rel_tolerance=0.05,
+        ))
+    latency = Pc1aLatencyModel()
+    comparisons.append(PaperComparison(
+        "PC1A worst-case transition", 200, latency.worst_case_transition_ns,
+        unit=" ns", rel_tolerance=0.15,
+    ))
+    comparisons.append(PaperComparison(
+        "APC area overhead", 0.75, SkxAreaModel().total_die_percent,
+        unit=" %", rel_tolerance=0.15,
+    ))
+    print(comparison_table(comparisons))
+    failed = [c for c in comparisons if c.verdict == "OFF"]
+    return 1 if failed else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AgilePkgC (APC) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    _add_run_args(run_parser)
+    run_parser.add_argument("--config", default="CPC1A",
+                            choices=sorted(CONFIG_BUILDERS))
+    run_parser.set_defaults(fn=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="Cshallow vs CPC1A")
+    _add_run_args(compare_parser)
+    compare_parser.set_defaults(fn=cmd_compare)
+
+    idle_parser = sub.add_parser("idle", help="idle power per config")
+    idle_parser.add_argument("--seed", type=int, default=1)
+    idle_parser.set_defaults(fn=cmd_idle)
+
+    latency_parser = sub.add_parser("latency", help="PC1A latency model")
+    latency_parser.set_defaults(fn=cmd_latency)
+
+    area_parser = sub.add_parser("area", help="APC area overhead")
+    area_parser.add_argument("--width-bits", type=int, default=128)
+    area_parser.set_defaults(fn=cmd_area)
+
+    export_parser = sub.add_parser("export", help="sweep rates to CSV")
+    _add_run_args(export_parser)
+    export_parser.add_argument(
+        "--configs", default="Cshallow,CPC1A",
+        help="comma-separated config names",
+    )
+    export_parser.add_argument(
+        "--rates", default="0,4000,10000,25000,50000,100000",
+        help="comma-separated offered rates (0 = idle)",
+    )
+    export_parser.add_argument("--out", default="results/sweep.csv")
+    export_parser.set_defaults(fn=cmd_export)
+
+    validate_parser = sub.add_parser(
+        "validate", help="check the headline paper anchors"
+    )
+    validate_parser.set_defaults(fn=cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

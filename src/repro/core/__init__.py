@@ -1,0 +1,39 @@
+"""AgilePkgC (APC): the paper's contribution.
+
+The package implements the three architecture components of paper
+Fig. 3 and the ``PC1A`` package C-state they enable:
+
+* :class:`~repro.core.apmu.Apmu` — the hardware agile power
+  management unit orchestrating the PC1A entry/exit flows (Fig. 4);
+* :class:`~repro.core.iosm.IosmController` — IO Standby Mode: the
+  ``AllowL0s`` / ``InL0s`` / ``Allow_CKE_OFF`` wiring over links and
+  memory controllers (Sec. 4.2);
+* :class:`~repro.core.clmr.ClmrController` — CHA/LLC/mesh retention
+  via the CLM FIVRs' ``Ret``/``PwrOk`` handshake and fast clock
+  gating, with the CLM PLL kept locked (Sec. 4.3);
+* :mod:`repro.core.pc1a` — the PC1A state characteristics (Table 2);
+* :mod:`repro.core.latency` — the analytical Sec. 5.5 transition
+  latency model (~18 ns entry, ~150 ns exit, <= 200 ns budget);
+* :mod:`repro.core.area` — the Sec. 5.1–5.3 area-overhead model
+  (< 0.75 % of an SKX die).
+"""
+
+from repro.core.apmu import Apmu, ApmuTimings
+from repro.core.iosm import IosmController
+from repro.core.clmr import ClmrController, ClmrError
+from repro.core.pc1a import PC1A_SPEC, PackageStateCharacteristics, table2_rows
+from repro.core.latency import Pc1aLatencyModel
+from repro.core.area import SkxAreaModel
+
+__all__ = [
+    "Apmu",
+    "ApmuTimings",
+    "IosmController",
+    "ClmrController",
+    "ClmrError",
+    "PC1A_SPEC",
+    "PackageStateCharacteristics",
+    "table2_rows",
+    "Pc1aLatencyModel",
+    "SkxAreaModel",
+]

@@ -1,0 +1,125 @@
+"""APC area-overhead model (paper Sec. 5.1–5.3).
+
+The paper estimates the die-area cost of APC from four ingredients,
+all reproduced here as an explicit calculation:
+
+* **long-distance signals** — each new cross-die wire costs
+  ``1 / interconnect_width`` of the IO interconnect, which itself is
+  < 6 % of the die. IOSM adds 5 wires, CLMR 3, the InCC1
+  aggregation 3.
+* **controller modifications** — AllowL0s/InL0s/Allow_CKE_OFF hooks
+  reuse existing knobs; < 0.5 % of each IO controller, and the IO
+  controllers are < 15 % of the die.
+* **FIVR RVID registers** — an 8-bit register + mux per CLM FCM;
+  < 0.5 % of an FCM, FIVR < 10 % of a core, core < 10 % of the die.
+* **the APMU FSM** — < 5 % of the GPMU, which is < 2 % of the die.
+
+Paper total: < 0.75 % of an SKX die. The model keeps every factor a
+parameter so the sensitivity to interconnect width (128 vs 512 bits)
+can be swept, as in Sec. 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SkxAreaModel:
+    """Die-area overhead calculator."""
+
+    #: IO interconnect share of the SKX die (Sec. 5.1: < 6 %).
+    io_interconnect_die_fraction: float = 0.06
+    #: Data width of the IO interconnect in bits (128–512 typical).
+    interconnect_width_bits: int = 128
+    #: IO controllers' share of the die (Sec. 5.1: < 15 %).
+    io_controllers_die_fraction: float = 0.15
+    #: Controller-side modification cost (Sec. 5.1: < 0.5 %).
+    controller_modification_fraction: float = 0.005
+    #: GPMU share of the die (Sec. 5.3: < 2 %).
+    gpmu_die_fraction: float = 0.02
+    #: APMU FSM relative to the GPMU (Sec. 5.3: up to 5 %).
+    apmu_of_gpmu_fraction: float = 0.05
+    #: FCM RVID register + mux relative to one FCM (Sec. 5.2: < 0.5 %).
+    fcm_modification_fraction: float = 0.005
+    #: FIVR (with FCM) share of a core tile (Sec. 5.2: < 10 %).
+    fivr_of_core_fraction: float = 0.10
+    #: One core tile's share of the 10-core die (Sec. 5.2: < 10 %).
+    core_die_fraction: float = 0.10
+    #: Number of CLM FCMs touched (Vccclm0/Vccclm1).
+    clm_fcm_count: int = 2
+    # New long-distance wires per component (Sec. 5.1–5.3).
+    iosm_signal_count: int = 5
+    clmr_signal_count: int = 3
+    incc1_signal_count: int = 3
+
+    def __post_init__(self) -> None:
+        if self.interconnect_width_bits < 1:
+            raise ValueError("interconnect width must be positive")
+
+    # -- ingredients ------------------------------------------------------
+    def signal_overhead(self, n_signals: int) -> float:
+        """Die fraction of ``n_signals`` new long-distance wires."""
+        if n_signals < 0:
+            raise ValueError("signal count must be non-negative")
+        per_signal = self.io_interconnect_die_fraction / self.interconnect_width_bits
+        return n_signals * per_signal
+
+    @property
+    def iosm_signals(self) -> float:
+        """Sec. 5.1: five wires; < 0.24 % at 128-bit width."""
+        return self.signal_overhead(self.iosm_signal_count)
+
+    @property
+    def iosm_controller_mods(self) -> float:
+        """Sec. 5.1: controller hook logic; < 0.08 % of the die."""
+        return (
+            self.controller_modification_fraction * self.io_controllers_die_fraction
+        )
+
+    @property
+    def clmr_signals(self) -> float:
+        """Sec. 5.2: three wires; < 0.14 % at 128-bit width."""
+        return self.signal_overhead(self.clmr_signal_count)
+
+    @property
+    def clmr_fcm_mods(self) -> float:
+        """Sec. 5.2: RVID registers; negligible (< 0.005 %)."""
+        return (
+            self.clm_fcm_count
+            * self.fcm_modification_fraction
+            * self.fivr_of_core_fraction
+            * self.core_die_fraction
+        )
+
+    @property
+    def apmu_fsm(self) -> float:
+        """Sec. 5.3: the PC1A controller; < 0.1 % of the die."""
+        return self.apmu_of_gpmu_fraction * self.gpmu_die_fraction
+
+    @property
+    def incc1_signals(self) -> float:
+        """Sec. 5.3: aggregated InCC1 wires; < 0.14 %."""
+        return self.signal_overhead(self.incc1_signal_count)
+
+    # -- totals -------------------------------------------------------------
+    def breakdown(self) -> dict[str, float]:
+        """Component-by-component die fraction."""
+        return {
+            "IOSM long-distance signals": self.iosm_signals,
+            "IOSM controller modifications": self.iosm_controller_mods,
+            "CLMR long-distance signals": self.clmr_signals,
+            "CLMR FCM RVID registers": self.clmr_fcm_mods,
+            "APMU FSM": self.apmu_fsm,
+            "InCC1 aggregation signals": self.incc1_signals,
+        }
+
+    @property
+    def total_die_fraction(self) -> float:
+        """Total APC overhead (paper: < 0.75 % of an SKX die)."""
+        return sum(self.breakdown().values())
+
+    @property
+    def total_die_percent(self) -> float:
+        """Total overhead as a percentage."""
+        return 100.0 * self.total_die_fraction

@@ -1,0 +1,110 @@
+"""Analytical PC1A transition-latency model (paper Sec. 5.5).
+
+Computes the entry and exit latency decomposition from first
+principles — FSM issue slots, clock-tree settle, FIVR slew, CKE and
+L0s exit times — and cross-checks the paper's headline numbers:
+~18 ns entry, ~150 ns exit, <= 200 ns worst-case entry+exit, and a
+> 250x speedup over PC6. The discrete-event APMU uses the same
+:class:`~repro.core.apmu.ApmuTimings`, so tests assert that the
+simulated flow and this closed-form model agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.apmu import ApmuTimings
+from repro.units import slew_time_ns
+
+
+@dataclass(frozen=True)
+class Pc1aLatencyModel:
+    """Closed-form PC1A entry/exit latency."""
+
+    timings: ApmuTimings = field(default_factory=ApmuTimings)
+    #: FIVR parameters (Sec. 5.5): >= 2 mV/ns slew, 0.8 V -> 0.5 V.
+    nominal_v: float = 0.80
+    retention_v: float = 0.50
+    slew_v_per_ns: float = 0.002
+    #: IO shallow-state exit (PCIe/DMI L0s; UPI L0p is faster).
+    l0s_exit_ns: int = 64
+    #: DRAM CKE-off exit (tXP class, Sec. 5.5).
+    cke_exit_ns: int = 24
+    #: PC6 worst-case transition for the speedup comparison (Table 1).
+    pc6_transition_ns: int = 50_000
+
+    # -- entry -------------------------------------------------------------
+    @property
+    def fivr_ramp_ns(self) -> int:
+        """One retention ramp: 300 mV at 2 mV/ns => 150 ns."""
+        return slew_time_ns(self.nominal_v - self.retention_v, self.slew_v_per_ns)
+
+    @property
+    def entry_ns(self) -> int:
+        """Blocking entry latency (paper: ~18 ns).
+
+        The FIVR down-ramp and the MCs' CKE-off entry are
+        non-blocking, so entry cost is just the FSM schedule.
+        """
+        return self.timings.entry_done_at_ns
+
+    def entry_breakdown(self) -> dict[str, int]:
+        """Per-step entry timeline (offsets from the &InL0s edge)."""
+        t = self.timings
+        return {
+            "detect &InL0s + issue ClkGate": t.entry_clk_gate_at_ns,
+            "clock tree gated, issue Ret (non-blocking ramp)": t.entry_ret_at_ns,
+            "issue Allow_CKE_OFF (non-blocking CKE entry)": t.entry_cke_at_ns,
+            "declare PC1A / assert InPC1A": t.entry_done_at_ns,
+        }
+
+    # -- exit ----------------------------------------------------------------
+    @property
+    def exit_clm_branch_ns(self) -> int:
+        """Branch (i): unset Ret, ramp 150 ns, ungate after PwrOk."""
+        t = self.timings
+        return (
+            t.exit_ret_release_at_ns
+            + self.fivr_ramp_ns
+            + t.gate_settle_cycles * t.cycle_ns
+        )
+
+    @property
+    def exit_mc_branch_ns(self) -> int:
+        """Branch (ii): unset Allow_CKE_OFF, MCs exit CKE-off."""
+        return self.timings.exit_cke_release_at_ns + self.cke_exit_ns
+
+    @property
+    def exit_io_branch_ns(self) -> int:
+        """Concurrent L0s exit of the IO links (autonomous)."""
+        return self.l0s_exit_ns
+
+    @property
+    def exit_ns(self) -> int:
+        """Exit latency: the max of the three concurrent branches.
+
+        Dominated by the FIVR up-ramp (paper: <= 150 ns plus command
+        and ungate cycles).
+        """
+        return max(
+            self.exit_clm_branch_ns, self.exit_mc_branch_ns, self.exit_io_branch_ns
+        )
+
+    def exit_breakdown(self) -> dict[str, int]:
+        """Per-branch exit latency (all run concurrently)."""
+        return {
+            "CLM: Ret release + FIVR ramp + ungate": self.exit_clm_branch_ns,
+            "MCs: Allow_CKE_OFF release + CKE exit": self.exit_mc_branch_ns,
+            "IO links: L0s exit": self.exit_io_branch_ns,
+        }
+
+    # -- headline numbers --------------------------------------------------
+    @property
+    def worst_case_transition_ns(self) -> int:
+        """Entry immediately followed by exit (paper: <= 200 ns)."""
+        return self.entry_ns + self.exit_ns
+
+    @property
+    def speedup_vs_pc6(self) -> float:
+        """How many times faster than PC6's > 50 us transition."""
+        return self.pc6_transition_ns / self.worst_case_transition_ns

@@ -1,0 +1,65 @@
+"""Package C-state characteristics (paper Table 2) and the PC1A spec.
+
+Table 2 of the paper contrasts what each package C-state does to the
+shared resources. This module encodes those rows as data so that the
+Table 2 bench, the machine configs and the documentation all share
+one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PackageStateCharacteristics:
+    """One row of Table 2."""
+
+    name: str
+    cores_requirement: str
+    l3_cache: str
+    plls: str
+    pcie_dmi: str
+    upi: str
+    dram: str
+    #: Worst-case transition (entry + exit) to reopen the memory path.
+    transition_latency_ns: int | None
+
+
+PC0_SPEC = PackageStateCharacteristics(
+    name="PC0",
+    cores_requirement=">=1 in CC0",
+    l3_cache="Accessible",
+    plls="On",
+    pcie_dmi="L0",
+    upi="L0",
+    dram="Available",
+    transition_latency_ns=0,
+)
+
+PC6_SPEC = PackageStateCharacteristics(
+    name="PC6",
+    cores_requirement="All in CC6",
+    l3_cache="Retention",
+    plls="Off",
+    pcie_dmi="L1",
+    upi="L1",
+    dram="Self Refresh",
+    transition_latency_ns=50_000,  # ">50us" (Table 1)
+)
+
+PC1A_SPEC = PackageStateCharacteristics(
+    name="PC1A",
+    cores_requirement="All in CC1",
+    l3_cache="Retention",
+    plls="On",
+    pcie_dmi="L0s",
+    upi="L0p",
+    dram="CKE off",
+    transition_latency_ns=200,  # "<200ns" (Table 1)
+)
+
+
+def table2_rows() -> list[PackageStateCharacteristics]:
+    """The rows of paper Table 2, in paper order."""
+    return [PC0_SPEC, PC6_SPEC, PC1A_SPEC]

@@ -1,0 +1,22 @@
+"""DRAM subsystem: DDR4 device power modes and the memory controller.
+
+Implements the two DRAM power-saving families the paper contrasts
+(Sec. 3.1): **CKE modes** (active/pre-charged power-down — nanosecond
+transitions, >= 50 % power reduction) used by PC1A, and
+**self-refresh** (microsecond exit, deepest savings) used by PC6.
+The memory controller exposes the new ``Allow_CKE_OFF`` input wire
+added by APC (Sec. 4.2.2).
+"""
+
+from repro.dram.timings import DramTimings, DDR4_2666
+from repro.dram.device import DramDevice, DramPowerMode
+from repro.dram.controller import MemoryController, MemoryControllerError
+
+__all__ = [
+    "DramTimings",
+    "DDR4_2666",
+    "DramDevice",
+    "DramPowerMode",
+    "MemoryController",
+    "MemoryControllerError",
+]

@@ -1,0 +1,49 @@
+"""DDR4 timing parameters relevant to power-mode transitions.
+
+Values follow the paper's Sec. 3.1/5.5 ([6, 19, 64]): CKE power-down
+entry within ~10 ns and exit within ~24 ns (tXP-class), self-refresh
+entry ~1 µs (drain + tCKESR) and exit several microseconds (tXS +
+PLL/DLL settle on the interface the PMU powered down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Power-mode transition timings for one DDR4 channel."""
+
+    cke_off_entry_ns: int = 10
+    cke_off_exit_ns: int = 24
+    self_refresh_entry_ns: int = 1 * US
+    self_refresh_exit_ns: int = 9 * US
+    #: Average access latency for a 64 B cache-line burst, including
+    #: controller queueing under light load.
+    access_ns: int = 90
+    #: Peak channel bandwidth (DDR4-2666: ~21.3 GB/s).
+    bandwidth_bytes_per_ns: float = 21.3
+    #: Refresh interval; in self-refresh the device refreshes itself.
+    refresh_interval_ns: int = 7_800
+
+    def __post_init__(self) -> None:
+        if min(
+            self.cke_off_entry_ns,
+            self.cke_off_exit_ns,
+            self.self_refresh_entry_ns,
+            self.self_refresh_exit_ns,
+            self.access_ns,
+        ) <= 0:
+            raise ValueError("all DRAM timings must be positive")
+        if self.self_refresh_exit_ns <= self.cke_off_exit_ns:
+            raise ValueError(
+                "self-refresh exit must be slower than CKE exit "
+                "(that asymmetry is the point of IOSM)"
+            )
+
+
+DDR4_2666 = DramTimings()
+"""The paper's platform memory: DDR4-2666 ECC."""

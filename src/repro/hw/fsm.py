@@ -1,0 +1,104 @@
+"""A small timed finite-state-machine base class.
+
+Hardware control flows in this library (LTSSM, GPMU package flow,
+APMU PC1A flow) are FSMs whose transitions take wall-clock time. The
+:class:`TimedFsm` base provides:
+
+* a current state with enter/exit hooks,
+* timed transitions (``goto(state, after_ns=...)``) that can be
+  preempted by later ``goto`` calls (e.g. a wake event during entry),
+* a transition log for tests and latency decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.engine import Event, Simulator
+
+
+class FsmError(RuntimeError):
+    """Raised on invalid FSM usage (unknown state, bad transition)."""
+
+
+class TimedFsm:
+    """Base class for timed state machines.
+
+    Subclasses declare ``STATES`` (a set/sequence of hashable state
+    labels) and may implement ``on_enter_<state>`` /
+    ``on_exit_<state>`` hooks (lower-cased state label).
+    """
+
+    STATES: tuple[str, ...] = ()
+
+    def __init__(self, sim: Simulator, name: str, initial: str):
+        if initial not in self.STATES:
+            raise FsmError(f"unknown initial state {initial!r} for {name!r}")
+        self.sim = sim
+        self.name = name
+        self.state = initial
+        self.state_entered_at = sim.now
+        self._pending: Event | None = None
+        self._pending_target: str | None = None
+        self.log: list[tuple[int, str, str]] = []
+
+    # -- transitions -----------------------------------------------------
+    def goto(self, state: str, after_ns: int = 0) -> None:
+        """Transition to ``state``, optionally after a delay.
+
+        A pending delayed transition is cancelled: the latest
+        ``goto`` wins, which models a flow being redirected by a new
+        event (for example a wake event arriving during entry).
+        """
+        if state not in self.STATES:
+            raise FsmError(f"unknown state {state!r} for {self.name!r}")
+        self._cancel_pending()
+        if after_ns <= 0:
+            self._apply(state)
+        else:
+            self._pending_target = state
+            self._pending = self.sim.schedule(after_ns, self._apply, state)
+
+    def cancel_pending(self) -> None:
+        """Abort a delayed transition (if any)."""
+        self._cancel_pending()
+
+    @property
+    def pending_target(self) -> str | None:
+        """The target of an in-flight delayed transition, if any."""
+        if self._pending is not None and self._pending.pending:
+            return self._pending_target
+        return None
+
+    def time_in_state(self) -> int:
+        """Nanoseconds spent in the current state so far."""
+        return self.sim.now - self.state_entered_at
+
+    # -- internals ---------------------------------------------------------
+    def _cancel_pending(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+            self._pending_target = None
+
+    def _apply(self, state: str) -> None:
+        self._pending = None
+        self._pending_target = None
+        if state == self.state:
+            return
+        old = self.state
+        self._run_hook("on_exit_", old)
+        self.state = state
+        self.state_entered_at = self.sim.now
+        self.log.append((self.sim.now, old, state))
+        self._run_hook("on_enter_", state)
+
+    def _run_hook(self, prefix: str, state: str) -> None:
+        hook: Callable[[], Any] | None = getattr(
+            self, prefix + state.lower(), None
+        )
+        if hook is not None:
+            hook()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.name!r}, state={self.state!r})"

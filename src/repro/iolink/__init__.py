@@ -1,0 +1,23 @@
+"""High-speed IO link models: PCIe, DMI and UPI.
+
+Each link couples a Link Training and Status State Machine
+(:mod:`repro.iolink.ltssm`) with power accounting and the APC signal
+interface: an ``AllowL0s`` input that gates autonomous entry into the
+shallow standby state (L0s for PCIe/DMI, L0p for UPI) and an ``InL0s``
+status output consumed by the APMU's AND tree (paper Sec. 4.2.1).
+"""
+
+from repro.iolink.lstates import LinkTimings, LState, LSTATE_BY_NAME
+from repro.iolink.ltssm import Ltssm, LtssmError
+from repro.iolink.link import IoLink, LinkError, make_link
+
+__all__ = [
+    "LState",
+    "LSTATE_BY_NAME",
+    "LinkTimings",
+    "Ltssm",
+    "LtssmError",
+    "IoLink",
+    "LinkError",
+    "make_link",
+]

@@ -1,0 +1,226 @@
+"""IO link controller: LTSSM + power + the APC signal interface.
+
+Responsibilities (paper Sec. 4.2.1 / 5.1):
+
+* **AllowL0s** input — when asserted, the controller arms an idle
+  timer (the programmed ``L0S_ENTRY_LAT`` window, exit latency / 4);
+  when the link has no outstanding transactions for that window the
+  LTSSM autonomously drops into L0s (UPI: L0p). Deasserting AllowL0s
+  wakes a standby link back to L0.
+* **InL0s** output — asserted while the LTSSM is in L0s *or deeper*
+  (L1/NDA count, footnote 5); deasserted the moment a wake event is
+  detected so the APMU can start the PC1A exit concurrently.
+* **transfer()** — delivers payloads with wake latency plus
+  bandwidth serialization, and notifies wake listeners (the APMU
+  learns of IO-triggered wakes through the InL0s edge; the GPMU
+  registers an explicit listener because in PC6 its links sit in L1).
+* power accounting per L-state through the link's power channel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hw.signals import Signal
+from repro.iolink.lstates import (
+    DMI_TIMINGS,
+    LinkTimings,
+    PCIE_TIMINGS,
+    UPI_TIMINGS,
+)
+from repro.iolink.ltssm import Ltssm, LtssmError
+from repro.power.budgets import DMI_POWER, LinkPowerSpec, PCIE_POWER, UPI_POWER
+from repro.power.meter import PowerChannel
+from repro.power.residency import ResidencyCounter
+from repro.sim.engine import Simulator
+from repro.sim.timers import RestartableTimeout
+
+
+class LinkError(RuntimeError):
+    """Raised on invalid link usage."""
+
+
+class IoLink:
+    """One high-speed IO controller + PHY pair."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        power_spec: LinkPowerSpec,
+        timings: LinkTimings,
+        channel: PowerChannel,
+    ):
+        self.sim = sim
+        self.name = name
+        self.power_spec = power_spec
+        self.timings = timings
+        self.channel = channel
+        self.ltssm = Ltssm(
+            sim, f"{name}.ltssm", timings, shallow_state=power_spec.shallow_state
+        )
+        self.allow_l0s = Signal(f"{name}.AllowL0s", value=False)
+        self.in_l0s = Signal(f"{name}.InL0s", value=False)
+        self.residency = ResidencyCounter(sim, self.ltssm.state)
+        self._outstanding = 0
+        self._idle_timer = RestartableTimeout(
+            sim, timings.shallow_entry_ns, self._idle_window_elapsed
+        )
+        self._wake_listeners: list[Callable[[str], None]] = []
+        self.transfers = 0
+        self.shallow_entries = 0
+        self.allow_l0s.watch(self._on_allow_change)
+        self._sync_state()
+        # Track every LTSSM transition for power/residency.
+        original_apply = self.ltssm._apply
+
+        def tracked_apply(state: str) -> None:
+            original_apply(state)
+            self._sync_state()
+
+        self.ltssm._apply = tracked_apply  # type: ignore[method-assign]
+
+    # -- wake listeners ---------------------------------------------------
+    def on_wake(self, fn: Callable[[str], None]) -> None:
+        """Register ``fn(link_name)`` to fire when traffic wakes the link."""
+        self._wake_listeners.append(fn)
+
+    # -- traffic -----------------------------------------------------------
+    def transfer(self, n_bytes: int, on_delivered: Callable[[], None] | None = None) -> int:
+        """Move ``n_bytes`` across the link; returns total latency in ns.
+
+        Latency = wake latency of the current L-state (0 in L0/L0p)
+        plus serialization at the link bandwidth. The idle timer is
+        re-armed after delivery.
+        """
+        if n_bytes <= 0:
+            raise LinkError(f"transfer size must be positive, got {n_bytes}")
+        self.transfers += 1
+        self._outstanding += 1
+        self._idle_timer.cancel()
+        wake_ns = self._wake_for_traffic()
+        serialize_ns = max(1, round(n_bytes / self.timings.bandwidth_bytes_per_ns))
+        total = wake_ns + serialize_ns
+        self.sim.schedule(total, self._delivered, on_delivered)
+        return total
+
+    @property
+    def outstanding(self) -> int:
+        """Transactions currently in flight."""
+        return self._outstanding
+
+    @property
+    def state(self) -> str:
+        """Current LTSSM state label."""
+        return self.ltssm.state
+
+    # -- GPMU (PC6) interface -------------------------------------------------
+    def enter_l1(self, on_done: Callable[[], None] | None = None) -> int:
+        """Command deep L1 entry (PC6 flow); returns the latency."""
+        if self._outstanding:
+            raise LinkError(f"{self.name}: cannot enter L1 with traffic in flight")
+        if self.ltssm.state == "L1":
+            if on_done is not None:
+                on_done()
+            return 0
+        total = self.ltssm.enter_l1()
+        if on_done is not None:
+            self.sim.schedule(total, on_done)
+        return total
+
+    def exit_l1(self, on_done: Callable[[], None] | None = None) -> int:
+        """Wake from L1 back to L0 (PC6 exit); returns the latency."""
+        if self.ltssm.state != "L1":
+            raise LinkError(f"{self.name}: exit_l1 in state {self.ltssm.state}")
+        total = self.ltssm.exit_l1()
+        if on_done is not None:
+            self.sim.schedule(total, on_done)
+        return total
+
+    # -- internals ---------------------------------------------------------
+    def _wake_for_traffic(self) -> int:
+        state = self.ltssm.state
+        if state == "L0" or (state == "L0p" and self.ltssm.lstate.transmitting):
+            # L0p keeps half the lanes awake: transactions flow, the
+            # LTSSM upshifts to full width concurrently.
+            if state == "L0p":
+                self._notify_wake()
+                self.ltssm.goto("L0", after_ns=self.timings.shallow_exit_ns)
+            return 0
+        if state == "L0s":
+            self._notify_wake()
+            return self.ltssm.exit_shallow()
+        if state == "L1":
+            self._notify_wake()
+            return self.ltssm.exit_l1()
+        if state in ("Recovery",):
+            # Mid-retrain: deliver after the retrain completes.
+            return self.timings.l1_exit_ns
+        raise LinkError(f"{self.name}: traffic on untrained link ({state})")
+
+    def _notify_wake(self) -> None:
+        # InL0s must drop immediately on wake detection so the APMU
+        # exit flow starts concurrently with the link's own exit.
+        self.in_l0s.set(False)
+        for fn in list(self._wake_listeners):
+            fn(self.name)
+
+    def _delivered(self, on_delivered: Callable[[], None] | None) -> None:
+        self._outstanding -= 1
+        if self._outstanding < 0:
+            raise LinkError(f"{self.name}: outstanding underflow")
+        if on_delivered is not None:
+            on_delivered()
+        self._maybe_arm_idle_timer()
+
+    def _on_allow_change(self, signal: Signal, old: bool, new: bool) -> None:
+        if new:
+            self._maybe_arm_idle_timer()
+        else:
+            self._idle_timer.cancel()
+            if self.ltssm.in_shallow:
+                self.ltssm.exit_shallow()
+                self.in_l0s.set(False)
+
+    def _maybe_arm_idle_timer(self) -> None:
+        if (
+            self.allow_l0s.value
+            and self._outstanding == 0
+            and self.ltssm.state == "L0"
+        ):
+            self._idle_timer.restart()
+
+    def _idle_window_elapsed(self) -> None:
+        if self._outstanding or not self.allow_l0s.value:
+            return
+        if self.ltssm.state != "L0":
+            return
+        self.ltssm.enter_shallow()
+        self.shallow_entries += 1
+
+    def _sync_state(self) -> None:
+        lstate = self.ltssm.lstate
+        self.residency.enter(lstate.name)
+        self.channel.set_power(self.power_spec.for_state_class(lstate.power_class))
+        if lstate.counts_as_in_l0s:
+            self.in_l0s.set(True)
+        # Deassertion is handled eagerly in _notify_wake and on allow
+        # changes; a move to a non-standby state also clears it:
+        elif self.ltssm.state in ("L0", "Recovery", "Polling", "Configuration"):
+            self.in_l0s.set(False)
+
+
+def make_link(
+    sim: Simulator,
+    kind: str,
+    index: int,
+    channel: PowerChannel,
+) -> IoLink:
+    """Build a PCIe, DMI or UPI link with its calibrated parameters."""
+    if kind == "pcie":
+        return IoLink(sim, f"pcie{index}", PCIE_POWER, PCIE_TIMINGS, channel)
+    if kind == "dmi":
+        return IoLink(sim, f"dmi{index}", DMI_POWER, DMI_TIMINGS, channel)
+    if kind == "upi":
+        return IoLink(sim, f"upi{index}", UPI_POWER, UPI_TIMINGS, channel)
+    raise LinkError(f"unknown link kind {kind!r}")

@@ -1,0 +1,86 @@
+"""Link power states (L-states) and per-link timing parameters.
+
+From the paper (Sec. 3.1):
+
+* **L0** — active; full bandwidth.
+* **L0s** — standby; lanes quiescent, PLL and reference clock on.
+  Exit is tens of nanoseconds (typically < 64 ns); entry is
+  configured to 1/4 of the exit latency via ``L0S_ENTRY_LAT``
+  (Sec. 4.2.1), i.e. 16 ns of link idleness.
+* **L0p** — UPI's partial-width standby (UPI has no L0s): half the
+  lanes sleep; ~10 ns exit.
+* **L1** — power-off; PLLs stop, link retrains on exit: microseconds.
+* **NDA** — no device attached; deeper than L1 (paper footnote 5).
+
+Training-path states (Detect/Polling/Configuration/Recovery) are
+modelled with stylized latencies — they matter for protocol fidelity
+of the LTSSM, not for the paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class LState:
+    """One link power state label with its power classification."""
+
+    name: str
+    #: Power class used to index :class:`~repro.power.budgets.LinkPowerSpec`:
+    #: ``"L0"``, ``"shallow"`` (L0s/L0p) or ``"L1"``.
+    power_class: str
+    #: True when the link can carry transactions without a wake.
+    transmitting: bool
+    #: True when the state asserts the ``InL0s`` status wire
+    #: ("L0s or deeper", paper Sec. 4.2.1).
+    counts_as_in_l0s: bool
+
+
+L0 = LState("L0", power_class="L0", transmitting=True, counts_as_in_l0s=False)
+L0S = LState("L0s", power_class="shallow", transmitting=False, counts_as_in_l0s=True)
+L0P = LState("L0p", power_class="shallow", transmitting=True, counts_as_in_l0s=True)
+L1 = LState("L1", power_class="L1", transmitting=False, counts_as_in_l0s=True)
+NDA = LState("NDA", power_class="L1", transmitting=False, counts_as_in_l0s=True)
+RECOVERY = LState("Recovery", power_class="L0", transmitting=False, counts_as_in_l0s=False)
+DETECT = LState("Detect", power_class="L1", transmitting=False, counts_as_in_l0s=True)
+POLLING = LState("Polling", power_class="L0", transmitting=False, counts_as_in_l0s=False)
+CONFIGURATION = LState(
+    "Configuration", power_class="L0", transmitting=False, counts_as_in_l0s=False
+)
+
+LSTATE_BY_NAME: dict[str, LState] = {
+    s.name: s
+    for s in (L0, L0S, L0P, L1, NDA, RECOVERY, DETECT, POLLING, CONFIGURATION)
+}
+
+
+@dataclass(frozen=True)
+class LinkTimings:
+    """Per-link-type transition latencies.
+
+    ``shallow_exit_ns`` is the L0s (or L0p) exit; ``shallow_entry_ns``
+    is the idle window before autonomous entry — APC programs it to a
+    quarter of the exit latency (Sec. 4.2.1).
+    """
+
+    shallow_exit_ns: int = 64
+    l1_entry_ns: int = 4 * US
+    l1_exit_ns: int = 10 * US
+    recovery_ns: int = 100
+    detect_ns: int = 1 * US
+    polling_ns: int = 4 * US
+    configuration_ns: int = 2 * US
+    bandwidth_bytes_per_ns: float = 16.0  # ~16 GB/s (PCIe gen3 x16)
+
+    @property
+    def shallow_entry_ns(self) -> int:
+        """Idle window before autonomous shallow entry (exit / 4)."""
+        return max(1, self.shallow_exit_ns // 4)
+
+
+PCIE_TIMINGS = LinkTimings()
+DMI_TIMINGS = LinkTimings(bandwidth_bytes_per_ns=4.0)
+UPI_TIMINGS = LinkTimings(shallow_exit_ns=10, bandwidth_bytes_per_ns=20.8)

@@ -1,0 +1,45 @@
+"""Power delivery, metering and analytical power models.
+
+Contents
+--------
+* :mod:`repro.power.meter` — per-component power channels integrated
+  into energy over simulated time.
+* :mod:`repro.power.residency` — C-state/L-state residency counters
+  (the simulator's equivalent of MSR residency counters).
+* :mod:`repro.power.budgets` — the calibrated SKX component power
+  ledger anchored to Table 1 / Sec. 5.4 of the paper.
+* :mod:`repro.power.fivr` — fully integrated voltage regulator model
+  (slew-rate-limited ramps, retention RVID, preemptive VID commands)
+  and the motherboard VR.
+* :mod:`repro.power.pdn` — the SKX voltage-domain map (Fig. 1(c)).
+* :mod:`repro.power.rapl` — RAPL-like energy counter interface.
+* :mod:`repro.power.model` — the paper's analytical models: Eq. 1
+  (residency-weighted savings) and Eq. 2–3 (PC1A power derivation).
+"""
+
+from repro.power.meter import PowerChannel, PowerMeter
+from repro.power.residency import ResidencyCounter
+from repro.power.budgets import SkxPowerBudget, DEFAULT_BUDGET
+from repro.power.fivr import Fivr, Mbvr, VrError
+from repro.power.rapl import RaplDomain, RaplInterface
+from repro.power.model import (
+    Pc1aPowerDerivation,
+    ResidencyWeightedModel,
+    SavingsBreakdown,
+)
+
+__all__ = [
+    "PowerChannel",
+    "PowerMeter",
+    "ResidencyCounter",
+    "SkxPowerBudget",
+    "DEFAULT_BUDGET",
+    "Fivr",
+    "Mbvr",
+    "VrError",
+    "RaplDomain",
+    "RaplInterface",
+    "Pc1aPowerDerivation",
+    "ResidencyWeightedModel",
+    "SavingsBreakdown",
+]

@@ -1,0 +1,121 @@
+"""Per-component power channels integrated into energy over sim time.
+
+Every hardware model owns one or more :class:`PowerChannel` objects.
+A channel holds the component's *current* power draw in watts; the
+meter integrates power over simulated time into joules whenever the
+draw changes (exact piecewise-constant integration — no sampling
+error). RAPL domains are computed by summing channels tagged with the
+same domain label.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.units import ns_to_s
+
+
+class PowerChannel:
+    """One component's power draw, integrated into energy.
+
+    Channels are created through :meth:`PowerMeter.channel`; the
+    ``domain`` tag groups channels into RAPL-style readout domains
+    (``"package"``, ``"dram"``).
+    """
+
+    __slots__ = ("name", "domain", "_sim", "_power_w", "_energy_j", "_last_ns")
+
+    def __init__(self, sim: Simulator, name: str, domain: str, power_w: float):
+        if power_w < 0:
+            raise ValueError(f"power must be non-negative, got {power_w}")
+        self._sim = sim
+        self.name = name
+        self.domain = domain
+        self._power_w = float(power_w)
+        self._energy_j = 0.0
+        self._last_ns = sim.now
+
+    @property
+    def power_w(self) -> float:
+        """Current draw in watts."""
+        return self._power_w
+
+    def set_power(self, power_w: float) -> None:
+        """Change the draw; past draw is integrated up to now first."""
+        if power_w < 0:
+            raise ValueError(f"power must be non-negative, got {power_w}")
+        self.sync()
+        self._power_w = float(power_w)
+
+    def add_energy(self, energy_j: float) -> None:
+        """Account a discrete energy event (e.g. a DRAM burst)."""
+        if energy_j < 0:
+            raise ValueError(f"energy must be non-negative, got {energy_j}")
+        self._energy_j += energy_j
+
+    def sync(self) -> None:
+        """Integrate the draw up to the current simulation time."""
+        now = self._sim.now
+        if now > self._last_ns:
+            self._energy_j += self._power_w * ns_to_s(now - self._last_ns)
+            self._last_ns = now
+
+    @property
+    def energy_j(self) -> float:
+        """Energy consumed since creation (or the last reset), in joules."""
+        self.sync()
+        return self._energy_j
+
+    def reset(self) -> None:
+        """Zero the accumulated energy (start of a measurement window)."""
+        self.sync()
+        self._energy_j = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PowerChannel({self.name!r}, {self._power_w:.3f} W)"
+
+
+class PowerMeter:
+    """Registry of all power channels in a simulated machine."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._channels: dict[str, PowerChannel] = {}
+
+    def channel(self, name: str, domain: str, power_w: float = 0.0) -> PowerChannel:
+        """Create (and register) a new uniquely named channel."""
+        if name in self._channels:
+            raise ValueError(f"duplicate power channel {name!r}")
+        channel = PowerChannel(self.sim, name, domain, power_w)
+        self._channels[name] = channel
+        return channel
+
+    def __getitem__(self, name: str) -> PowerChannel:
+        return self._channels[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._channels
+
+    def channels(self, domain: str | None = None) -> list[PowerChannel]:
+        """All channels, optionally filtered by domain tag."""
+        if domain is None:
+            return list(self._channels.values())
+        return [c for c in self._channels.values() if c.domain == domain]
+
+    def power_w(self, domain: str | None = None) -> float:
+        """Instantaneous total draw of a domain (or the whole machine)."""
+        return sum(c.power_w for c in self.channels(domain))
+
+    def energy_j(self, domain: str | None = None) -> float:
+        """Total energy of a domain since the last reset, in joules."""
+        return sum(c.energy_j for c in self.channels(domain))
+
+    def reset(self) -> None:
+        """Zero every channel's accumulated energy."""
+        for channel in self._channels.values():
+            channel.reset()
+
+    def average_power_w(self, domain: str | None, window_ns: int) -> float:
+        """Average power over a window ending now, given its length."""
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns}")
+        return self.energy_j(domain) / ns_to_s(window_ns)

@@ -1,0 +1,155 @@
+"""The paper's analytical power models (Eq. 1, Eq. 2, Eq. 3).
+
+Two models live here:
+
+* :class:`ResidencyWeightedModel` — Eq. 1 of the paper. Baseline
+  power is the residency-weighted sum of the active (``PC0``) and
+  all-idle (``PC0idle``) operating points; PC1A savings assume PC1A
+  residency equals the baseline's all-idle residency.
+* :class:`Pc1aPowerDerivation` — Eq. 2/3 of the paper. PC1A power is
+  derived from measured PC6 power plus the component deltas
+  (cores at CC1, IOs in shallow states, PLLs on, DRAM in CKE-off).
+
+These are *analytical* models, deliberately separate from the
+discrete-event simulator; the benches compare both against each other
+and against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.budgets import DEFAULT_BUDGET, SkxPowerBudget
+
+
+@dataclass(frozen=True)
+class SavingsBreakdown:
+    """Result of the Eq. 1 savings model."""
+
+    baseline_power_w: float
+    pc1a_system_power_w: float
+    savings_fraction: float
+    r_pc0: float
+    r_pc0idle: float
+
+    @property
+    def savings_percent(self) -> float:
+        """Savings as a percentage of baseline power."""
+        return 100.0 * self.savings_fraction
+
+
+class ResidencyWeightedModel:
+    """Eq. 1: residency-weighted baseline power and PC1A savings.
+
+    Parameters
+    ----------
+    p_pc0_w:
+        Average system (SoC+DRAM) power while at least one core is
+        active. May exceed the all-idle power by the per-request
+        dynamic energy.
+    p_pc0idle_w:
+        System power with all cores in CC1 and the uncore fully on.
+    p_pc1a_w:
+        System power in the proposed PC1A state.
+    """
+
+    def __init__(
+        self,
+        p_pc0_w: float | None = None,
+        p_pc0idle_w: float | None = None,
+        p_pc1a_w: float | None = None,
+        budget: SkxPowerBudget = DEFAULT_BUDGET,
+    ):
+        self.budget = budget
+        self.p_pc0_w = (
+            p_pc0_w if p_pc0_w is not None else budget.total_power_w("PC0")
+        )
+        self.p_pc0idle_w = (
+            p_pc0idle_w if p_pc0idle_w is not None else budget.total_power_w("PC0idle")
+        )
+        self.p_pc1a_w = (
+            p_pc1a_w if p_pc1a_w is not None else budget.total_power_w("PC1A")
+        )
+        if min(self.p_pc0_w, self.p_pc0idle_w, self.p_pc1a_w) < 0:
+            raise ValueError("powers must be non-negative")
+
+    def baseline_power_w(self, r_pc0idle: float) -> float:
+        """``Pbaseline`` for a given all-idle residency fraction."""
+        r_pc0 = 1.0 - r_pc0idle
+        return r_pc0 * self.p_pc0_w + r_pc0idle * self.p_pc0idle_w
+
+    def savings(self, r_pc0idle: float) -> SavingsBreakdown:
+        """Eq. 1 evaluated at an all-idle residency fraction.
+
+        The fraction of time spent in PC1A is assumed equal to the
+        fraction the baseline spends in PC0idle (``RPC1A = RPC0idle``),
+        exactly as in the paper.
+        """
+        if not 0.0 <= r_pc0idle <= 1.0:
+            raise ValueError(f"residency must be in [0, 1], got {r_pc0idle}")
+        baseline = self.baseline_power_w(r_pc0idle)
+        saved_w = r_pc0idle * (self.p_pc0idle_w - self.p_pc1a_w)
+        fraction = saved_w / baseline if baseline > 0 else 0.0
+        return SavingsBreakdown(
+            baseline_power_w=baseline,
+            pc1a_system_power_w=baseline - saved_w,
+            savings_fraction=fraction,
+            r_pc0=1.0 - r_pc0idle,
+            r_pc0idle=r_pc0idle,
+        )
+
+    def idle_savings(self) -> SavingsBreakdown:
+        """The fully idle server case: Eq. 1 with ``RPC0idle = 100 %``.
+
+        Simplifies to ``1 - P_PC1A / P_PC0idle`` (paper: ~41 %).
+        """
+        return self.savings(1.0)
+
+
+@dataclass(frozen=True)
+class Pc1aPowerDerivation:
+    """Eq. 2 and Eq. 3: derive PC1A power from PC6 plus deltas.
+
+    Defaults are the paper's measured values (Sec. 5.4): the class is
+    also instantiated from our ledger in the benches to check that the
+    component split closes against the paper's arithmetic.
+    """
+
+    p_soc_pc6_w: float = 11.9
+    p_cores_diff_w: float = 12.1
+    p_ios_diff_w: float = 3.5
+    p_plls_diff_w: float = 0.056
+    p_dram_pc6_w: float = 0.51
+    p_dram_diff_w: float = 1.1
+
+    @property
+    def p_soc_pc1a_w(self) -> float:
+        """Eq. 2: ``PsocPC1A = PsocPC6 + Pcores + PIOs + PPLLs``."""
+        return (
+            self.p_soc_pc6_w
+            + self.p_cores_diff_w
+            + self.p_ios_diff_w
+            + self.p_plls_diff_w
+        )
+
+    @property
+    def p_dram_pc1a_w(self) -> float:
+        """Eq. 3: ``PdramPC1A = PdramPC6 + Pdram_diff``."""
+        return self.p_dram_pc6_w + self.p_dram_diff_w
+
+    @property
+    def p_total_pc1a_w(self) -> float:
+        """SoC + DRAM PC1A power (Table 1's 29.1 W row)."""
+        return self.p_soc_pc1a_w + self.p_dram_pc1a_w
+
+    @classmethod
+    def from_budget(cls, budget: SkxPowerBudget = DEFAULT_BUDGET) -> "Pc1aPowerDerivation":
+        """Build the derivation from our component ledger."""
+        return cls(
+            p_soc_pc6_w=budget.soc_power_w("PC6"),
+            p_cores_diff_w=budget.cores_diff_w(),
+            p_ios_diff_w=budget.ios_diff_w(),
+            p_plls_diff_w=budget.plls_diff_w(),
+            p_dram_pc6_w=budget.dram_power_w("PC6"),
+            p_dram_diff_w=budget.dram_diff_w(),
+        )

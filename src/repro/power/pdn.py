@@ -1,0 +1,131 @@
+"""The SKX power delivery network: voltage domains (paper Fig. 1(c)).
+
+SKX organizes the SoC into nine primary voltage domains, each fed by
+either a FIVR (fast, on-die) or an MBVR (fixed, motherboard). The APC
+design exploits exactly one property of this map: the CLM is on FIVRs
+(fast retention possible), while IO controllers/PHYs are on MBVRs
+(no fast rail control — hence IOSM uses link states instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class RegulatorKind(str, Enum):
+    """How a voltage domain is supplied."""
+
+    FIVR = "fivr"
+    MBVR = "mbvr"
+
+
+@dataclass(frozen=True)
+class VoltageDomainSpec:
+    """One primary voltage domain of the SoC."""
+
+    name: str
+    regulator: RegulatorKind
+    nominal_v: float
+    components: tuple[str, ...]
+    retention_capable: bool = False
+
+
+def skx_voltage_domains(n_cores: int = 10) -> list[VoltageDomainSpec]:
+    """The SKX domain map used by the APC wiring and the area model.
+
+    Per-core FIVRs are collapsed into one spec with a multiplicity in
+    the component list; the two CLM FIVRs (Vccclm0/Vccclm1) are kept
+    separate because CLMR drives ``Ret`` to both.
+    """
+    return [
+        VoltageDomainSpec(
+            name="Vcc_core",
+            regulator=RegulatorKind.FIVR,
+            nominal_v=0.80,
+            components=tuple(f"core{i}" for i in range(n_cores)),
+            retention_capable=True,
+        ),
+        VoltageDomainSpec(
+            name="Vccclm0",
+            regulator=RegulatorKind.FIVR,
+            nominal_v=0.80,
+            components=("clm_left",),
+            retention_capable=True,
+        ),
+        VoltageDomainSpec(
+            name="Vccclm1",
+            regulator=RegulatorKind.FIVR,
+            nominal_v=0.80,
+            components=("clm_right",),
+            retention_capable=True,
+        ),
+        VoltageDomainSpec(
+            name="Vccsa",
+            regulator=RegulatorKind.MBVR,
+            nominal_v=0.85,
+            components=("io_controllers", "system_agent"),
+        ),
+        VoltageDomainSpec(
+            name="Vccio",
+            regulator=RegulatorKind.MBVR,
+            nominal_v=0.95,
+            components=("io_phys", "vertical_mesh"),
+        ),
+        VoltageDomainSpec(
+            name="Vccddr",
+            regulator=RegulatorKind.MBVR,
+            nominal_v=1.20,
+            components=("ddr_io",),
+        ),
+        VoltageDomainSpec(
+            name="Vccpll",
+            regulator=RegulatorKind.MBVR,
+            nominal_v=1.00,
+            components=("plls",),
+        ),
+        VoltageDomainSpec(
+            name="Vccst",
+            regulator=RegulatorKind.MBVR,
+            nominal_v=1.00,
+            components=("sustain_logic", "gpmu"),
+        ),
+        VoltageDomainSpec(
+            name="Vccana",
+            regulator=RegulatorKind.MBVR,
+            nominal_v=1.80,
+            components=("analog", "fuses"),
+        ),
+    ]
+
+
+@dataclass
+class PowerDeliveryNetwork:
+    """Queryable view over the domain map."""
+
+    domains: list[VoltageDomainSpec] = field(default_factory=skx_voltage_domains)
+
+    def domain(self, name: str) -> VoltageDomainSpec:
+        """Look up a domain by name."""
+        for spec in self.domains:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"unknown voltage domain {name!r}")
+
+    def domain_of(self, component: str) -> VoltageDomainSpec:
+        """Find the domain powering a component."""
+        for spec in self.domains:
+            if component in spec.components:
+                return spec
+        raise KeyError(f"no voltage domain powers {component!r}")
+
+    def retention_capable_domains(self) -> list[VoltageDomainSpec]:
+        """Domains that can do fast retention (FIVR-fed)."""
+        return [d for d in self.domains if d.retention_capable]
+
+    def fivr_count(self) -> int:
+        """Number of physical FIVR instances (per-core + CLM pair)."""
+        return sum(
+            len(d.components) if d.regulator is RegulatorKind.FIVR else 0
+            for d in self.domains
+        )

@@ -1,0 +1,101 @@
+"""The paper's machine configurations (Sec. 6).
+
+* ``Cshallow`` — the real-world datacenter setup: CC1E/CC6 disabled,
+  all package C-states disabled, performance governor. Best latency,
+  worst idle power.
+* ``Cdeep`` — every C-state enabled and powertop-tuned so PC6 is
+  reachable: best idle power, unacceptable latency for
+  latency-critical services.
+* ``CPC1A`` — Cshallow plus the APC architecture: the APMU enters
+  PC1A whenever all cores sit in CC1.
+
+P-states (DVFS) are pinned in all three configurations, as in the
+paper, so frequency never confounds the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soc.config import SKX_CONFIG, SocConfig
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to build a :class:`ServerMachine`."""
+
+    name: str
+    #: Core C-states the BIOS leaves enabled (CC0 is implicit).
+    enabled_cstates: tuple[str, ...]
+    #: Idle governor: ``"shallow"`` or ``"menu"``.
+    governor: str
+    #: Package policy: ``"none"`` (stuck in PC0), ``"pc6"`` (GPMU),
+    #: ``"pc1a"`` (APC's APMU).
+    package_policy: str
+    soc: SocConfig = field(default_factory=lambda: SKX_CONFIG)
+    #: One-way client<->server network + client stack time added to
+    #: server latency for end-to-end numbers (Sec. 7.3: ~117 us).
+    network_latency_ns: int = 117 * US
+    dispatch_policy: str = "random"
+    #: OS scheduler tick rate. 0 = fully tickless (NOHZ_FULL), the
+    #: behaviour of the paper's tuned system. Non-zero rates model
+    #: legacy kernels whose per-core ticks fragment package idleness.
+    timer_tick_hz: int = 0
+    #: ``"periodic"`` ticks every core; ``"nohz_idle"`` suppresses
+    #: ticks on idle cores (only meaningful when timer_tick_hz > 0).
+    tick_mode: str = "periodic"
+
+    def __post_init__(self) -> None:
+        if self.package_policy not in ("none", "pc6", "pc1a"):
+            raise ValueError(f"unknown package policy {self.package_policy!r}")
+        if not self.enabled_cstates:
+            raise ValueError("at least one core C-state must be enabled")
+        if self.package_policy == "pc1a" and "CC6" in self.enabled_cstates:
+            # The paper's premise: PC1A exists precisely because CC6
+            # stays disabled in latency-critical deployments.
+            raise ValueError("CPC1A assumes deep core C-states stay disabled")
+
+
+def cshallow() -> MachineConfig:
+    """The recommended datacenter baseline (paper Sec. 6)."""
+    return MachineConfig(
+        name="Cshallow",
+        enabled_cstates=("CC1",),
+        governor="shallow",
+        package_policy="none",
+    )
+
+
+def cdeep() -> MachineConfig:
+    """All C-states enabled, powertop-tuned (paper Sec. 6)."""
+    return MachineConfig(
+        name="Cdeep",
+        enabled_cstates=("CC1", "CC1E", "CC6"),
+        governor="menu",
+        package_policy="pc6",
+    )
+
+
+def cpc1a() -> MachineConfig:
+    """Cshallow augmented with the APC architecture."""
+    return MachineConfig(
+        name="CPC1A",
+        enabled_cstates=("CC1",),
+        governor="shallow",
+        package_policy="pc1a",
+    )
+
+
+CONFIG_BUILDERS = {
+    "Cshallow": cshallow,
+    "Cdeep": cdeep,
+    "CPC1A": cpc1a,
+}
+
+
+def config_by_name(name: str) -> MachineConfig:
+    """Build one of the three paper configurations by name."""
+    if name not in CONFIG_BUILDERS:
+        raise KeyError(f"unknown config {name!r}; have {sorted(CONFIG_BUILDERS)}")
+    return CONFIG_BUILDERS[name]()

@@ -1,0 +1,133 @@
+"""The experiment driver: one workload on one configuration.
+
+``run_experiment`` is the measurement harness every bench and example
+uses: build a machine, warm it up, measure a window, and return an
+:class:`ExperimentResult` carrying power, residency, latency,
+transition counts and the idle-period trace views — the full set of
+observables the paper reports across Figs. 5–9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.configs import MachineConfig
+from repro.server.machine import ServerMachine
+from repro.server.stats import LatencySummary
+from repro.tracing.socwatch import OpportunityEstimate
+from repro.units import MS, ns_to_s
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything measured over one experiment window."""
+
+    config_name: str
+    workload_name: str
+    seed: int
+    duration_ns: int
+    offered_qps: float
+    requests_completed: int
+    achieved_qps: float
+    # Power (averages over the window).
+    package_power_w: float
+    dram_power_w: float
+    # Residency.
+    core_residency: dict[str, float]
+    package_residency: dict[str, float]
+    utilization: float
+    all_idle_fraction: float
+    socwatch: OpportunityEstimate
+    idle_histogram: dict[str, float]
+    # Latency (end-to-end, network folded in).
+    latency: LatencySummary
+    # Transition accounting.
+    pc1a_entries: int = 0
+    pc1a_exits: int = 0
+    pc1a_mean_exit_ns: float = 0.0
+    pc1a_max_exit_ns: int = 0
+    pc6_entries: int = 0
+    pc6_exits: int = 0
+    core_wakes: int = 0
+    active_after_idle_mean: float = 1.0
+    active_after_idle_dist: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_power_w(self) -> float:
+        """SoC + DRAM average power (the paper's headline metric)."""
+        return self.package_power_w + self.dram_power_w
+
+    def pc1a_residency(self) -> float:
+        """Fraction of the window actually spent in PC1A."""
+        return self.package_residency.get("PC1A", 0.0)
+
+    def pc6_residency(self) -> float:
+        """Fraction of the window actually spent in PC6."""
+        return self.package_residency.get("PC6", 0.0)
+
+
+def run_experiment(
+    workload: Workload,
+    config: MachineConfig,
+    duration_ns: int = 400 * MS,
+    warmup_ns: int = 50 * MS,
+    seed: int = 0,
+    machine: ServerMachine | None = None,
+) -> ExperimentResult:
+    """Run ``workload`` on ``config`` and measure one window.
+
+    The warmup lets queues, governor history and package state reach
+    steady behaviour before meters reset; the measurement window then
+    integrates power and residency exactly (piecewise-constant, no
+    sampling error).
+    """
+    if duration_ns <= 0:
+        raise ValueError(f"duration must be positive, got {duration_ns}")
+    if warmup_ns < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup_ns}")
+    if machine is None:
+        machine = ServerMachine(config, seed=seed)
+    workload.start(machine.sim, machine)
+    machine.run_for(warmup_ns)
+    machine.begin_measurement()
+    machine.run_for(duration_ns)
+    return collect_result(machine, workload, duration_ns, seed)
+
+
+def collect_result(
+    machine: ServerMachine,
+    workload: Workload,
+    duration_ns: int,
+    seed: int,
+) -> ExperimentResult:
+    """Assemble an :class:`ExperimentResult` from a measured machine."""
+    duration_s = ns_to_s(duration_ns)
+    apmu, gpmu = machine.apmu, machine.gpmu
+    return ExperimentResult(
+        config_name=machine.config.name,
+        workload_name=workload.name,
+        seed=seed,
+        duration_ns=duration_ns,
+        offered_qps=workload.offered_qps,
+        requests_completed=machine.requests_completed,
+        achieved_qps=machine.requests_completed / duration_s,
+        package_power_w=machine.meter.energy_j("package") / duration_s,
+        dram_power_w=machine.meter.energy_j("dram") / duration_s,
+        core_residency=machine.core_residency(),
+        package_residency=machine.package.residency.fractions(),
+        utilization=machine.utilization(),
+        all_idle_fraction=machine.idle_tracker.idle_fraction(),
+        socwatch=machine.socwatch.opportunity(),
+        idle_histogram=machine.socwatch.duration_histogram(),
+        latency=machine.latency.summary(machine.config.network_latency_ns),
+        pc1a_entries=apmu.pc1a_entries if apmu else 0,
+        pc1a_exits=apmu.pc1a_exits if apmu else 0,
+        pc1a_mean_exit_ns=apmu.mean_exit_latency_ns if apmu else 0.0,
+        pc1a_max_exit_ns=apmu.exit_latency_max_ns if apmu else 0,
+        pc6_entries=gpmu.pc6_entries if gpmu else 0,
+        pc6_exits=gpmu.pc6_exits if gpmu else 0,
+        core_wakes=sum(core.wake_count for core in machine.cores),
+        active_after_idle_mean=machine.active_sampler.mean_active(),
+        active_after_idle_dist=machine.active_sampler.distribution(),
+    )

@@ -1,0 +1,226 @@
+"""Assembly of one simulated server machine.
+
+Builds the full component graph for a :class:`MachineConfig`: power
+meter and channels, CLM domain, IO links and their PLLs, memory
+controllers and DRAM devices, CPU cores with their governor, and the
+package controller the config calls for (none / GPMU / APMU+IOSM+CLMR).
+Also owns the observability plumbing: the all-idle AND tree, idle
+period tracker, SoCWatch view, post-idle activity sampler, RAPL
+interface and the latency recorder.
+"""
+
+from __future__ import annotations
+
+from repro.core.apmu import Apmu
+from repro.core.clmr import ClmrController
+from repro.core.iosm import IosmController
+from repro.dram.controller import MemoryController
+from repro.dram.device import DramDevice
+from repro.dram.timings import DDR4_2666
+from repro.hw.signals import AndTree
+from repro.iolink.link import IoLink, make_link
+from repro.power.meter import PowerMeter
+from repro.power.rapl import RaplInterface
+from repro.server.configs import MachineConfig
+from repro.server.dispatch import Dispatcher
+from repro.server.nic import Nic
+from repro.server.stats import LatencyRecorder
+from repro.server.ticks import OsTimerTicks
+from repro.sim.engine import Simulator
+from repro.soc.clm import ClmDomain
+from repro.soc.cpu import Core, Job
+from repro.soc.cstates import cstate_by_name
+from repro.soc.governors import governor_for
+from repro.soc.gpmu import Gpmu
+from repro.soc.package import StaticPc0Controller
+from repro.soc.pll import Pll
+from repro.tracing.idle import ActiveAfterIdleSampler, IdlePeriodTracker
+from repro.tracing.socwatch import SocWatchView
+from repro.workloads.base import Request
+
+
+class ServerMachine:
+    """One server: the paper's Xeon Silver 4114 under a given config."""
+
+    def __init__(self, config: MachineConfig, seed: int = 0):
+        self.config = config
+        self.sim = Simulator(seed)
+        soc = config.soc
+        budget = soc.budget
+        self.budget = budget
+        self.meter = PowerMeter(self.sim)
+        self.rapl = RaplInterface(self.meter)
+        # Always-on north-cap power (GPMU + misc + leakage).
+        self.meter.channel("uncore_static", "package", budget.uncore_base_w())
+        # CLM domain (CHA/LLC/mesh) with its FIVRs, PLL and clock tree.
+        self.clm = ClmDomain(
+            self.sim,
+            budget.clm,
+            self.meter.channel("clm", "package"),
+            pll_channel=self.meter.channel("pll.clm", "package"),
+            apmu_cycle_ns=soc.pmu_cycle_ns,
+        )
+        # High-speed IO links and their PLLs.
+        self.links: list[IoLink] = []
+        for kind, count in (("pcie", soc.n_pcie), ("dmi", soc.n_dmi), ("upi", soc.n_upi)):
+            for index in range(count):
+                link = make_link(
+                    self.sim, kind, index,
+                    self.meter.channel(f"link.{kind}{index}", "package"),
+                )
+                self.links.append(link)
+        self.link_plls = [
+            Pll(self.sim, f"pll.{link.name}",
+                channel=self.meter.channel(f"pll.{link.name}", "package"))
+            for link in self.links
+        ]
+        self.gpmu_pll = Pll(
+            self.sim, "pll.gpmu", channel=self.meter.channel("pll.gpmu", "package")
+        )
+        #: The 8 uncore PLLs of Sec. 5.4 (off in PC6, on in PC1A).
+        self.uncore_plls = [self.clm.pll] + self.link_plls + [self.gpmu_pll]
+        # Memory controllers and their DRAM channels.
+        self.dram_devices: list[DramDevice] = []
+        self.memory_controllers: list[MemoryController] = []
+        for index in range(soc.n_mc):
+            device = DramDevice(
+                self.sim, f"dram{index}", budget.dram,
+                self.meter.channel(f"dram{index}", "dram"),
+            )
+            controller = MemoryController(
+                self.sim, f"mc{index}", budget.mc, DDR4_2666,
+                self.meter.channel(f"mc{index}", "package"), device,
+            )
+            self.dram_devices.append(device)
+            self.memory_controllers.append(controller)
+        # CPU cores (package reference is attached just below).
+        enabled = tuple(cstate_by_name(name) for name in config.enabled_cstates)
+        self.governor = governor_for(config.governor, enabled)
+        self.cores = [
+            Core(
+                self.sim, index, budget.core, self.governor,
+                self.meter.channel(f"core{index}", "package"), package=None,
+            )
+            for index in range(soc.n_cores)
+        ]
+        # Package controller.
+        self.apmu: Apmu | None = None
+        self.gpmu: Gpmu | None = None
+        self.iosm: IosmController | None = None
+        self.clmr: ClmrController | None = None
+        if config.package_policy == "none":
+            self.package = StaticPc0Controller(self.sim)
+        elif config.package_policy == "pc6":
+            self.gpmu = Gpmu(
+                self.sim, self.cores, self.links, self.memory_controllers,
+                self.clm, self.uncore_plls,
+            )
+            self.package = self.gpmu
+        else:  # "pc1a"
+            self.iosm = IosmController(self.sim, self.links, self.memory_controllers)
+            self.clmr = ClmrController(self.clm)
+            self.apmu = Apmu(self.sim, self.cores, self.iosm, self.clmr)
+            self.package = self.apmu
+        for core in self.cores:
+            core.package = self.package
+        # OS scheduler ticks (0 = tickless, the paper's configuration).
+        self.ticks: OsTimerTicks | None = None
+        if config.timer_tick_hz > 0:
+            self.ticks = OsTimerTicks(
+                self.sim, self.cores, config.timer_tick_hz, config.tick_mode
+            )
+            self.ticks.start()
+        # Request path.
+        self.dispatcher = Dispatcher(self.sim, self.cores, config.dispatch_policy)
+        self.nic = Nic(self.sim, self.links[0], self._dispatch)
+        self.latency = LatencyRecorder()
+        self._next_mc = 0
+        self.requests_completed = 0
+        # Observability: the fully-idle signal and its consumers.
+        self._all_idle_tree = AndTree(
+            "machine.AllIdle", [core.in_cc1 for core in self.cores]
+        )
+        self.all_idle = self._all_idle_tree.output
+        self.idle_tracker = IdlePeriodTracker(self.sim, self.all_idle)
+        self.socwatch = SocWatchView(self.idle_tracker)
+        self.active_sampler = ActiveAfterIdleSampler(
+            self.sim, self.all_idle, self.cores
+        )
+
+    # -- request path ------------------------------------------------------
+    def inject(self, request: Request) -> None:
+        """A request arrives from the network (workload entry point)."""
+        if request.arrival_ns is None:
+            request.arrival_ns = self.sim.now
+        self.nic.receive(request)
+
+    def _dispatch(self, request: Request) -> None:
+        core = self.dispatcher.pick()
+        job = Job(request, request.service_ns, on_complete=self._job_complete)
+        core.submit(job)
+
+    def _job_complete(self, job: Job, now: int) -> None:
+        request: Request = job.payload
+        request.started_ns = job.started_ns
+        request.completed_ns = now
+        # Charge the transaction's memory traffic (round-robin over
+        # channels, as an address-interleaved system would).
+        if request.dram_bytes > 0:
+            mc = self.memory_controllers[self._next_mc % len(self.memory_controllers)]
+            self._next_mc += 1
+            mc.access(request.dram_bytes)
+        self.requests_completed += 1
+        self.latency.record(request.server_latency_ns)
+        self.nic.send_response(request)
+
+    # -- measurement windows -----------------------------------------------
+    def begin_measurement(self) -> None:
+        """Zero all meters, counters and traces (end of warmup)."""
+        self.meter.reset()
+        self.latency.reset()
+        self.idle_tracker.reset()
+        self.active_sampler.reset()
+        self.requests_completed = 0
+        self.nic.received = 0
+        self.nic.responses_sent = 0
+        self.package.residency.reset()
+        for core in self.cores:
+            core.residency.reset()
+            core.jobs_completed = 0
+            core.wake_count = 0
+        for link in self.links:
+            link.residency.reset()
+            link.transfers = 0
+            link.shallow_entries = 0
+        for mc in self.memory_controllers:
+            mc.residency.reset()
+            mc.cke_off_entries = 0
+            mc.accesses = 0
+        for device in self.dram_devices:
+            device.residency.reset()
+            device.bytes_accessed = 0
+        if self.apmu is not None:
+            self.apmu.pc1a_entries = 0
+            self.apmu.pc1a_exits = 0
+            self.apmu.exit_latency_sum_ns = 0
+            self.apmu.exit_latency_max_ns = 0
+        if self.gpmu is not None:
+            self.gpmu.pc6_entries = 0
+            self.gpmu.pc6_exits = 0
+
+    # -- aggregate views -----------------------------------------------------
+    def core_residency(self) -> dict[str, float]:
+        """Average core C-state residency fractions across all cores."""
+        totals: dict[str, float] = {}
+        for core in self.cores:
+            for state, fraction in core.residency.fractions().items():
+                totals[state] = totals.get(state, 0.0) + fraction
+        return {state: value / len(self.cores) for state, value in totals.items()}
+
+    def utilization(self) -> float:
+        """Average CC0 residency across cores (processor load)."""
+        return self.core_residency().get("CC0", 0.0)
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the simulation by a fixed amount of time."""
+        self.sim.run(until_ns=self.sim.now + duration_ns)

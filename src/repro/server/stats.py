@@ -1,0 +1,84 @@
+"""Request latency accounting.
+
+End-to-end latency in the paper (Fig. 5/7(c)) is server-side latency
+plus ~117 µs of network time. The recorder keeps exact server-side
+samples; summaries fold the configured network latency in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import ns_to_us
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of end-to-end latency, in microseconds."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    p999_us: float
+    max_us: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat mapping for table printers."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+            "max_us": self.max_us,
+        }
+
+
+EMPTY_SUMMARY = LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class LatencyRecorder:
+    """Collects per-request server-side latencies (nanoseconds)."""
+
+    def __init__(self) -> None:
+        self._samples_ns: list[int] = []
+
+    def record(self, server_latency_ns: int) -> None:
+        """Add one completed request's server-side latency."""
+        if server_latency_ns < 0:
+            raise ValueError(f"latency cannot be negative: {server_latency_ns}")
+        self._samples_ns.append(server_latency_ns)
+
+    def reset(self) -> None:
+        """Drop samples (start of a measurement window)."""
+        self._samples_ns.clear()
+
+    @property
+    def count(self) -> int:
+        """Number of recorded requests."""
+        return len(self._samples_ns)
+
+    def samples_ns(self) -> list[int]:
+        """A copy of the raw samples."""
+        return list(self._samples_ns)
+
+    def summary(self, network_latency_ns: int = 0) -> LatencySummary:
+        """Percentile summary with network latency folded in."""
+        if not self._samples_ns:
+            return EMPTY_SUMMARY
+        data = np.asarray(self._samples_ns, dtype=np.float64) + network_latency_ns
+        p50, p95, p99, p999 = np.percentile(data, [50, 95, 99, 99.9])
+        return LatencySummary(
+            count=len(self._samples_ns),
+            mean_us=ns_to_us(float(data.mean())),
+            p50_us=ns_to_us(float(p50)),
+            p95_us=ns_to_us(float(p95)),
+            p99_us=ns_to_us(float(p99)),
+            p999_us=ns_to_us(float(p999)),
+            max_us=ns_to_us(float(data.max())),
+        )

@@ -1,0 +1,78 @@
+"""OS scheduler-tick modelling.
+
+Package C-states only pay off if the OS lets the system stay idle:
+a periodic scheduler tick (100–1000 Hz, per core) wakes the package
+over and over, fragmenting exactly the fully-idle periods PC1A
+harvests. Modern kernels therefore run *tickless* (NOHZ) on idle
+cores — which is what the paper's measured system does, and why the
+main configurations here default to no ticks.
+
+This module makes the interaction measurable: ``OsTimerTicks`` in
+``periodic`` mode delivers a small tick job to every core each period
+(the legacy kernel behaviour); ``nohz_idle`` mode only ticks busy
+cores, so idle cores — and hence the package — sleep through.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.soc.cpu import Core, Job
+from repro.units import S, US
+
+TICK_MODES = ("periodic", "nohz_idle")
+
+
+class OsTimerTicks:
+    """Per-core scheduler ticks driving spurious package wakes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cores: list[Core],
+        tick_hz: int,
+        mode: str = "periodic",
+        tick_work_ns: int = 3 * US,
+    ):
+        if tick_hz <= 0:
+            raise ValueError(f"tick rate must be positive, got {tick_hz}")
+        if mode not in TICK_MODES:
+            raise ValueError(f"unknown tick mode {mode!r}; have {TICK_MODES}")
+        if tick_work_ns <= 0:
+            raise ValueError(f"tick work must be positive, got {tick_work_ns}")
+        self.sim = sim
+        self.cores = cores
+        self.tick_hz = tick_hz
+        self.mode = mode
+        self.tick_work_ns = tick_work_ns
+        self.period_ns = S // tick_hz
+        self.ticks_delivered = 0
+        self.ticks_suppressed = 0
+        self._timers: list[PeriodicTimer] = []
+
+    def start(self) -> None:
+        """Arm one staggered timer per core (like real per-CPU ticks)."""
+        stagger = self.period_ns // max(1, len(self.cores))
+        for index, core in enumerate(self.cores):
+            timer = PeriodicTimer(
+                self.sim, self.period_ns, self._make_tick(core)
+            )
+            self._timers.append(timer)
+            self.sim.schedule(index * stagger, timer.start)
+
+    def stop(self) -> None:
+        """Disarm all tick timers."""
+        for timer in self._timers:
+            timer.stop()
+
+    def _make_tick(self, core: Core):
+        def fire() -> None:
+            if self.mode == "nohz_idle" and not core.busy:
+                # NOHZ: the idle core's tick is suppressed; it will be
+                # re-armed by real work arriving.
+                self.ticks_suppressed += 1
+                return
+            self.ticks_delivered += 1
+            core.submit(Job("os-tick", self.tick_work_ns))
+
+        return fire

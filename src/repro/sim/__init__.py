@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel with an integer-nanosecond clock.
+
+The kernel is deliberately small: a binary-heap event queue
+(:class:`~repro.sim.engine.Simulator`), cancellable events
+(:class:`~repro.sim.engine.Event`), generator-based processes
+(:mod:`repro.sim.process`) and periodic timers
+(:mod:`repro.sim.timers`). Every hardware model in the library is
+driven by one shared :class:`Simulator` instance.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.process import Process, Delay, WaitEvent, Interrupt
+from repro.sim.timers import PeriodicTimer
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Delay",
+    "WaitEvent",
+    "Interrupt",
+    "PeriodicTimer",
+]

@@ -1,0 +1,169 @@
+"""The discrete-event simulator core.
+
+The simulator maintains a priority queue of :class:`Event` objects
+keyed by ``(time_ns, sequence)``. Ties in time are broken by insertion
+order, which makes runs fully deterministic for a fixed seed.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> sim = Simulator(seed=1)
+>>> fired = []
+>>> _ = sim.schedule(100, fired.append, "a")
+>>> _ = sim.schedule(50, fired.append, "b")
+>>> sim.run()
+>>> fired
+['b', 'a']
+>>> sim.now
+100
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+import numpy as np
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, etc.)."""
+
+
+class Event:
+    """A scheduled callback; returned by :meth:`Simulator.schedule`.
+
+    Events are one-shot. Cancelling an already fired or cancelled
+    event is a harmless no-op, which simplifies timer management in
+    the hardware models.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled to fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time}, fn={getattr(self.fn, '__name__', self.fn)!r}, {state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with an int-ns clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random generator (``sim.rng``).
+        All stochastic models draw from this generator so a seed fully
+        determines a run.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._queue: list[Event] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running = False
+        self.rng: np.random.Generator = np.random.default_rng(seed)
+        self.seed = seed
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_processed
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
+        return self.schedule_at(self._now + int(delay_ns), fn, *args)
+
+    def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before now={self._now}"
+            )
+        event = Event(int(time_ns), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # -- execution -------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event. Returns False if none left."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until_ns: int | None = None) -> None:
+        """Run until the queue drains or the clock reaches ``until_ns``.
+
+        When ``until_ns`` is given, the clock is advanced to exactly
+        ``until_ns`` on return even if the queue drained earlier, so
+        that power/residency integration windows are well defined.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            if until_ns is None:
+                while self.step():
+                    pass
+                return
+            if until_ns < self._now:
+                raise SimulationError(
+                    f"cannot run until t={until_ns} before now={self._now}"
+                )
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if head.time > until_ns:
+                    break
+                self.step()
+            self._now = until_ns
+        finally:
+            self._running = False
+
+    def peek(self) -> int | None:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Simulator(now={self._now}, pending={len(self._queue)})"

@@ -1,0 +1,156 @@
+"""Generator-based processes on top of the event kernel.
+
+A process is a Python generator that yields *commands*:
+
+* ``Delay(ns)`` — suspend for a fixed duration;
+* ``WaitEvent()`` — suspend until another process calls
+  :meth:`WaitEvent.trigger` (optionally passing a value back in).
+
+Processes make sequential flows (a request's life cycle, a load
+generator loop) much easier to read than chained callbacks, while
+state machines with many external triggers (LTSSM, APMU) remain
+callback/FSM based.
+
+Example
+-------
+>>> from repro.sim import Simulator, Process, Delay
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     log.append(("start", sim.now))
+...     yield Delay(25)
+...     log.append(("done", sim.now))
+>>> _ = Process(sim, worker())
+>>> sim.run()
+>>> log
+[('start', 0), ('done', 25)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Simulator, SimulationError
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Delay:
+    """Yield command: suspend the process for ``duration_ns``."""
+
+    __slots__ = ("duration_ns",)
+
+    def __init__(self, duration_ns: int):
+        if duration_ns < 0:
+            raise ValueError(f"delay must be non-negative, got {duration_ns}")
+        self.duration_ns = int(duration_ns)
+
+
+class WaitEvent:
+    """Yield command: suspend until :meth:`trigger` is called.
+
+    A ``WaitEvent`` may be triggered before the process yields it; in
+    that case the process resumes immediately (on the next event),
+    which avoids lost-wakeup races.
+    """
+
+    def __init__(self) -> None:
+        self._waiters: list[Process] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> None:
+        """Wake all processes waiting on this event."""
+        if self.triggered:
+            return
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume_soon(value)
+
+    def _subscribe(self, process: "Process") -> None:
+        if self.triggered:
+            process._resume_soon(self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """Drives a generator as a simulation process.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that schedules the process's resumptions.
+    generator:
+        A generator yielding :class:`Delay` or :class:`WaitEvent`.
+    name:
+        Optional label for diagnostics.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "process"):
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._pending_event = None
+        self._interrupt: Interrupt | None = None
+        # Start on the next event boundary so construction order does
+        # not matter within a single callback.
+        self._pending_event = sim.schedule(0, self._resume, None)
+
+    # -- control ---------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume."""
+        if self.finished:
+            return
+        self._interrupt = Interrupt(cause)
+        if self._pending_event is not None and self._pending_event.pending:
+            self._pending_event.cancel()
+        self._pending_event = self.sim.schedule(0, self._resume, None)
+
+    # -- internals ---------------------------------------------------------
+    def _resume_soon(self, value: Any) -> None:
+        if self.finished:
+            return
+        self._pending_event = self.sim.schedule(0, self._resume, value)
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        self._pending_event = None
+        try:
+            if self._interrupt is not None:
+                interrupt, self._interrupt = self._interrupt, None
+                command = self.generator.throw(interrupt)
+            else:
+                command = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self._pending_event = self.sim.schedule(
+                command.duration_ns, self._resume, None
+            )
+        elif isinstance(command, WaitEvent):
+            command._subscribe(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"

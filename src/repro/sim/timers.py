@@ -1,0 +1,82 @@
+"""Periodic and one-shot timer helpers for hardware models."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.engine import Event, Simulator
+
+
+class PeriodicTimer:
+    """Fires ``fn()`` every ``period_ns`` until stopped.
+
+    Used by the GPMU for housekeeping ticks and by the tracing layer
+    for sampling. The first firing happens one full period after
+    :meth:`start` (matching a hardware countdown timer).
+    """
+
+    def __init__(self, sim: Simulator, period_ns: int, fn: Callable[[], Any]):
+        if period_ns <= 0:
+            raise ValueError(f"period must be positive, got {period_ns}")
+        self.sim = sim
+        self.period_ns = int(period_ns)
+        self.fn = fn
+        self._event: Event | None = None
+        self.fire_count = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed."""
+        return self._event is not None and self._event.pending
+
+    def start(self) -> None:
+        """Arm the timer; restarts the countdown if already armed."""
+        self.stop()
+        self._event = self.sim.schedule(self.period_ns, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self.fire_count += 1
+        self._event = self.sim.schedule(self.period_ns, self._fire)
+        self.fn()
+
+
+class RestartableTimeout:
+    """A one-shot timeout that can be re-armed, e.g. an idle-window timer.
+
+    The IO link controllers use this to detect "link idle for N ns"
+    before entering L0s: every packet restarts the countdown.
+    """
+
+    def __init__(self, sim: Simulator, duration_ns: int, fn: Callable[[], Any]):
+        if duration_ns < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_ns}")
+        self.sim = sim
+        self.duration_ns = int(duration_ns)
+        self.fn = fn
+        self._event: Event | None = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the countdown is running."""
+        return self._event is not None and self._event.pending
+
+    def restart(self) -> None:
+        """(Re)start the countdown from the full duration."""
+        self.cancel()
+        self._event = self.sim.schedule(self.duration_ns, self._expire)
+
+    def cancel(self) -> None:
+        """Disarm without firing."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _expire(self) -> None:
+        self._event = None
+        self.fn()

@@ -1,0 +1,62 @@
+"""The Skylake-server (SKX) SoC substrate.
+
+Models the hardware the paper's techniques plug into: CPU cores with
+core C-states and idle governors, the CLM (CHA/LLC/mesh) domain, the
+clock distribution network and PLLs, the firmware global power
+management unit (GPMU) with the legacy PC2/PC6 package flow (paper
+Fig. 2), and the machine configuration (Xeon Silver 4114: 10 cores,
+3 PCIe + 1 DMI + 2 UPI links, 2 memory controllers).
+"""
+
+from repro.soc.cstates import (
+    CC0,
+    CC1,
+    CC1E,
+    CC6,
+    CoreCState,
+    cstate_by_name,
+)
+from repro.soc.cpu import Core, CoreError
+from repro.soc.governors import (
+    GovernorError,
+    IdleGovernor,
+    MenuGovernor,
+    ShallowGovernor,
+)
+from repro.soc.pll import Pll
+from repro.soc.clock_tree import ClockTree
+from repro.soc.package import (
+    PackageCState,
+    PackageController,
+    StaticPc0Controller,
+)
+from repro.soc.gpmu import Gpmu, Pc6FlowTimings
+from repro.soc.config import SocConfig, SKX_CONFIG
+from repro.soc.clm import ClmDomain
+from repro.soc.floorplan import SkxFloorplan
+
+__all__ = [
+    "CC0",
+    "CC1",
+    "CC1E",
+    "CC6",
+    "CoreCState",
+    "cstate_by_name",
+    "Core",
+    "CoreError",
+    "IdleGovernor",
+    "ShallowGovernor",
+    "MenuGovernor",
+    "GovernorError",
+    "Pll",
+    "ClockTree",
+    "PackageCState",
+    "PackageController",
+    "StaticPc0Controller",
+    "Gpmu",
+    "Pc6FlowTimings",
+    "SocConfig",
+    "SKX_CONFIG",
+    "ClmDomain",
+    "SkxFloorplan",
+]

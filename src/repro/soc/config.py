@@ -1,0 +1,63 @@
+"""Structural SoC configuration (the hardware inventory).
+
+The defaults model the paper's evaluation platform: an Intel Xeon
+Silver 4114 — 10 physical cores at 2.2 GHz nominal, 3 PCIe + 1 DMI +
+2 UPI high-speed IO controllers, 2 memory controllers with DDR4-2666,
+and ~18 PLLs (Sec. 5.4/6). Policy choices (which C-states are
+enabled, which package controller runs) live in
+:mod:`repro.server.configs`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.budgets import DEFAULT_BUDGET, SkxPowerBudget
+
+
+@dataclass(frozen=True)
+class SocConfig:
+    """Hardware inventory and frequencies of the modelled SoC."""
+
+    name: str = "skx-xeon-silver-4114"
+    n_cores: int = 10
+    core_freq_ghz: float = 2.2
+    n_pcie: int = 3
+    n_dmi: int = 1
+    n_upi: int = 2
+    n_mc: int = 2
+    #: APMU / GPMU power-management controller clock (Sec. 5.5:
+    #: 500 MHz -> 2 ns per cycle).
+    pmu_cycle_ns: int = 2
+    budget: SkxPowerBudget = field(default_factory=lambda: DEFAULT_BUDGET)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if min(self.n_pcie, self.n_dmi, self.n_upi, self.n_mc) < 0:
+            raise ValueError("component counts must be non-negative")
+        if self.pmu_cycle_ns < 1:
+            raise ValueError("PMU cycle time must be >= 1 ns")
+
+    @property
+    def n_links(self) -> int:
+        """Total high-speed IO controllers."""
+        return self.n_pcie + self.n_dmi + self.n_upi
+
+    @property
+    def pll_count(self) -> int:
+        """Total PLLs: per core, per link, CLM(+MCs), GPMU.
+
+        Matches the paper's count for the Silver 4114: 10 cores +
+        6 IO controllers + 1 CLM + 1 GPMU = 18.
+        """
+        return self.n_cores + self.n_links + 2
+
+    @property
+    def uncore_pll_count(self) -> int:
+        """PLLs outside the cores (kept on in PC1A): 8 on the 4114."""
+        return self.pll_count - self.n_cores
+
+
+SKX_CONFIG = SocConfig()
+"""The paper's evaluation platform."""

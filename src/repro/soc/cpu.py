@@ -1,0 +1,214 @@
+"""CPU core model: execution, core C-states, and the PMA status export.
+
+Each core runs one request at a time from a private run queue (the
+server pins worker threads, Sec. 6 of the paper). When the queue
+drains, the idle governor picks a core C-state; the core then walks an
+explicit entering -> idle -> waking life cycle with the entry/exit
+latencies of :mod:`repro.soc.cstates`.
+
+The core's power management agent (PMA, paper Sec. 5.3) exports two
+status wires consumed by package controllers: ``InCC1`` (asserted
+while fully resident in CC1 or deeper) and ``InCC6`` (fully resident
+in CC6). Wake-ups are gated by the package controller: a core exit
+begins only once interrupts are deliverable (``request_wake``), which
+is how PC1A's <= 200 ns and PC6's tens of microseconds show up in
+request latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.hw.signals import Signal
+from repro.power.budgets import CorePowerSpec
+from repro.power.meter import PowerChannel
+from repro.power.residency import ResidencyCounter
+from repro.sim.engine import Event, Simulator
+from repro.soc.cstates import CC0, CoreCState
+from repro.soc.package import PackageController
+
+
+class CoreError(RuntimeError):
+    """Raised on invalid core usage (e.g. negative service time)."""
+
+
+class Job:
+    """A unit of work bound for one core."""
+
+    __slots__ = ("payload", "service_ns", "submitted_ns", "started_ns", "on_complete")
+
+    def __init__(
+        self,
+        payload: Any,
+        service_ns: int,
+        on_complete: Callable[["Job", int], None] | None = None,
+    ):
+        if service_ns <= 0:
+            raise CoreError(f"service time must be positive, got {service_ns}")
+        self.payload = payload
+        self.service_ns = int(service_ns)
+        self.submitted_ns: int | None = None
+        self.started_ns: int | None = None
+        self.on_complete = on_complete
+
+
+class Core:
+    """One physical CPU core.
+
+    Parameters
+    ----------
+    sim, index:
+        Simulator and core number.
+    spec:
+        Per-core power by C-state.
+    governor:
+        Idle governor choosing the C-state on queue drain.
+    channel:
+        Power channel for this core.
+    package:
+        The package controller gating wake-ups.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        spec: CorePowerSpec,
+        governor: "IdleGovernorProtocol",
+        channel: PowerChannel,
+        package: PackageController,
+    ):
+        self.sim = sim
+        self.index = index
+        self.spec = spec
+        self.governor = governor
+        self.channel = channel
+        self.package = package
+        self.queue: deque[Job] = deque()
+        self.residency = ResidencyCounter(sim, CC0.name)
+        self.in_cc1 = Signal(f"core{index}.InCC1", value=False)
+        self.in_cc6 = Signal(f"core{index}.InCC6", value=False)
+        self._mode = "active"  # active | entering | idle | waking
+        self._cstate: CoreCState = CC0
+        self._entry_event: Event | None = None
+        self._run_event: Event | None = None
+        self._wake_pending = False
+        self._idle_started_ns: int | None = None
+        self.jobs_completed = 0
+        self.wake_count = 0
+        channel.set_power(spec.cc0_w)
+        # A fresh core has nothing to do: let it settle into idle.
+        sim.schedule(0, self._maybe_go_idle)
+
+    # -- observability -----------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """Life-cycle phase: ``active``/``entering``/``idle``/``waking``."""
+        return self._mode
+
+    @property
+    def cstate(self) -> CoreCState:
+        """The current (or target, while entering) core C-state."""
+        return self._cstate
+
+    @property
+    def busy(self) -> bool:
+        """True while executing or holding queued work."""
+        return self._mode == "active" or bool(self.queue)
+
+    # -- work submission -----------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Queue a job; wakes the core if it is idle."""
+        job.submitted_ns = self.sim.now
+        self.queue.append(job)
+        if self._mode == "active":
+            return  # will be picked up when the current job completes
+        if self._mode == "waking":
+            return  # wake already in flight
+        if self._mode == "entering":
+            # Entry is not abortable (paper Sec. 5.5 footnote 11 models
+            # the VR side; the core side likewise completes its MWAIT
+            # entry before the wake interrupt is serviced).
+            self._wake_pending = True
+            return
+        self._begin_wake()
+
+    # -- idle entry ------------------------------------------------------
+    def _maybe_go_idle(self) -> None:
+        if self._mode != "active" or self.queue or self._run_event is not None:
+            return
+        cstate = self.governor.select(self)
+        if cstate.depth == 0:
+            return  # governor can keep the core polling in CC0
+        self._mode = "entering"
+        self._cstate = cstate
+        self._idle_started_ns = self.sim.now
+        self.channel.set_power(self.spec.transition_w)
+        self._entry_event = self.sim.schedule(cstate.entry_ns, self._entry_complete)
+
+    def _entry_complete(self) -> None:
+        self._entry_event = None
+        self._mode = "idle"
+        self.channel.set_power(self.spec.for_state(self._cstate.name))
+        self.residency.enter(self._cstate.name)
+        self.in_cc1.set(self._cstate.depth >= 1)
+        self.in_cc6.set(self._cstate.depth >= 3)
+        if self._wake_pending:
+            self._wake_pending = False
+            self._begin_wake()
+
+    # -- wake ----------------------------------------------------------------
+    def _begin_wake(self) -> None:
+        if self._mode not in ("idle", "entering"):
+            raise CoreError(f"cannot wake core in mode {self._mode!r}")
+        self.wake_count += 1
+        self._mode = "waking"
+        self.in_cc1.set(False)
+        self.in_cc6.set(False)
+        self.residency.enter(CC0.name)
+        self.channel.set_power(self.spec.transition_w)
+        if self._idle_started_ns is not None:
+            self.governor.observe_idle(self, self.sim.now - self._idle_started_ns)
+            self._idle_started_ns = None
+        # Interrupt delivery is gated by the package controller; the
+        # core C-state exit starts once the package can deliver it.
+        self.package.request_wake(self._package_ready)
+
+    def _package_ready(self) -> None:
+        self.sim.schedule(self._cstate.exit_ns, self._core_exit_complete)
+
+    def _core_exit_complete(self) -> None:
+        self._mode = "active"
+        self._cstate = CC0
+        self.channel.set_power(self.spec.cc0_w)
+        self._start_next()
+
+    # -- execution -------------------------------------------------------
+    def _start_next(self) -> None:
+        if self._mode != "active":
+            return
+        if not self.queue:
+            self._maybe_go_idle()
+            return
+        job = self.queue.popleft()
+        job.started_ns = self.sim.now
+        self._run_event = self.sim.schedule(job.service_ns, self._job_done, job)
+
+    def _job_done(self, job: Job) -> None:
+        self._run_event = None
+        self.jobs_completed += 1
+        if job.on_complete is not None:
+            job.on_complete(job, self.sim.now)
+        self._start_next()
+
+
+class IdleGovernorProtocol:
+    """Structural interface idle governors must implement."""
+
+    def select(self, core: Core) -> CoreCState:  # pragma: no cover - protocol
+        """Pick the C-state for a core whose queue just drained."""
+        raise NotImplementedError
+
+    def observe_idle(self, core: Core, duration_ns: int) -> None:
+        """Feedback: how long the last idle period actually lasted."""

@@ -1,0 +1,88 @@
+"""Core C-state definitions for the SKX model.
+
+Latency values follow the paper (Sec. 3.1) and the Linux ``intel_idle``
+tables it cites: CC1 wakes in a couple of microseconds, CC1E in ~10 µs,
+and CC6 needs on the order of 133 µs for a full entry+exit transition
+([45, 46] in the paper), split here 44 µs entry / 89 µs exit. The
+``target_residency_ns`` values are the break-even thresholds the menu
+governor uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import US
+
+
+@dataclass(frozen=True, order=True)
+class CoreCState:
+    """One core C-state.
+
+    Ordering follows ``depth``: deeper states compare greater, so
+    ``CC6 > CC1`` reads naturally in governor code.
+    """
+
+    depth: int
+    name: str
+    entry_ns: int
+    exit_ns: int
+    target_residency_ns: int
+    #: True when the state is reached via MWAIT with caches intact
+    #: (CC1/CC1E); CC6 flushes core caches and power gates.
+    retains_core_state: bool
+
+    @property
+    def transition_ns(self) -> int:
+        """Worst-case entry followed immediately by exit."""
+        return self.entry_ns + self.exit_ns
+
+    def __str__(self) -> str:
+        return self.name
+
+
+CC0 = CoreCState(
+    depth=0,
+    name="CC0",
+    entry_ns=0,
+    exit_ns=0,
+    target_residency_ns=0,
+    retains_core_state=True,
+)
+
+CC1 = CoreCState(
+    depth=1,
+    name="CC1",
+    entry_ns=200,
+    exit_ns=2 * US,
+    target_residency_ns=2 * US,
+    retains_core_state=True,
+)
+
+CC1E = CoreCState(
+    depth=2,
+    name="CC1E",
+    entry_ns=1 * US,
+    exit_ns=10 * US,
+    target_residency_ns=20 * US,
+    retains_core_state=True,
+)
+
+CC6 = CoreCState(
+    depth=3,
+    name="CC6",
+    entry_ns=44 * US,
+    exit_ns=89 * US,
+    target_residency_ns=600 * US,
+    retains_core_state=False,
+)
+
+ALL_CSTATES: tuple[CoreCState, ...] = (CC0, CC1, CC1E, CC6)
+
+
+def cstate_by_name(name: str) -> CoreCState:
+    """Look up a core C-state by its label (``"CC6"`` etc.)."""
+    for state in ALL_CSTATES:
+        if state.name == name:
+            return state
+    raise KeyError(f"unknown core C-state {name!r}")

@@ -1,0 +1,106 @@
+"""Idle governors: the policy side of core C-state selection.
+
+Two governors model the paper's two baselines:
+
+* :class:`ShallowGovernor` — the ``Cshallow`` datacenter configuration
+  (Sec. 6): CC1E and CC6 are disabled in BIOS, so every idle period
+  uses CC1. This is what server vendors recommend [53, 54, 57].
+* :class:`MenuGovernor` — the ``Cdeep`` configuration: all C-states
+  enabled, selection mimics the Linux menu governor. It predicts the
+  next idle duration from recent history and picks the deepest enabled
+  state whose target residency fits the prediction. Mispredictions on
+  bursty traffic are exactly what produces the latency spikes of
+  Fig. 5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.soc.cstates import CC0, CC1, CC1E, CC6, CoreCState
+
+
+class GovernorError(RuntimeError):
+    """Raised on invalid governor configuration."""
+
+
+class IdleGovernor:
+    """Common base holding the enabled-state list."""
+
+    def __init__(self, enabled_states: tuple[CoreCState, ...]):
+        idle_states = [s for s in enabled_states if s.depth >= 1]
+        if not idle_states:
+            raise GovernorError("at least one idle C-state must be enabled")
+        self.enabled_states = tuple(sorted(idle_states))
+
+    def select(self, core) -> CoreCState:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def observe_idle(self, core, duration_ns: int) -> None:
+        """Default: ignore feedback."""
+
+
+class ShallowGovernor(IdleGovernor):
+    """Always pick the shallowest enabled idle state (CC1)."""
+
+    def __init__(self, enabled_states: tuple[CoreCState, ...] = (CC1,)):
+        super().__init__(enabled_states)
+
+    def select(self, core) -> CoreCState:
+        return self.enabled_states[0]
+
+
+class MenuGovernor(IdleGovernor):
+    """A simplified Linux menu governor.
+
+    Keeps the last ``history`` observed idle durations per core and
+    predicts the next idle as their average scaled by a correction
+    factor; then selects the deepest enabled state whose
+    ``target_residency_ns`` does not exceed the prediction. A fresh
+    core (no history) is treated optimistically, like the kernel's
+    first-idle behaviour with no timer pressure: deep states are
+    allowed, which is what makes low-load Cdeep latency poor.
+    """
+
+    def __init__(
+        self,
+        enabled_states: tuple[CoreCState, ...] = (CC1, CC1E, CC6),
+        history: int = 8,
+        initial_prediction_ns: int = 10_000_000,
+    ):
+        super().__init__(enabled_states)
+        if history < 1:
+            raise GovernorError(f"history must be >= 1, got {history}")
+        self.history = history
+        self.initial_prediction_ns = initial_prediction_ns
+        self._samples: dict[int, deque[int]] = {}
+
+    def predict_ns(self, core) -> int:
+        """Predicted duration of the upcoming idle period."""
+        samples = self._samples.get(core.index)
+        if not samples:
+            return self.initial_prediction_ns
+        return int(sum(samples) / len(samples))
+
+    def select(self, core) -> CoreCState:
+        predicted = self.predict_ns(core)
+        choice = self.enabled_states[0]
+        for state in self.enabled_states:
+            if state.target_residency_ns <= predicted:
+                choice = state
+        return choice
+
+    def observe_idle(self, core, duration_ns: int) -> None:
+        samples = self._samples.setdefault(
+            core.index, deque(maxlen=self.history)
+        )
+        samples.append(int(duration_ns))
+
+
+def governor_for(name: str, enabled_states: tuple[CoreCState, ...]) -> IdleGovernor:
+    """Factory used by machine configs (``"shallow"`` or ``"menu"``)."""
+    if name == "shallow":
+        return ShallowGovernor(enabled_states)
+    if name == "menu":
+        return MenuGovernor(enabled_states)
+    raise GovernorError(f"unknown governor {name!r}")

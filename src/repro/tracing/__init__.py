@@ -1,0 +1,21 @@
+"""Power-event tracing: the simulator's SoCWatch.
+
+The paper estimates PC1A opportunity by tracing C-state transition
+events with Intel SoCWatch and post-processing the timeline (Sec. 6).
+SoCWatch cannot record idle periods shorter than 10 µs, so the
+paper's opportunity numbers *underestimate* reality; we reproduce
+both the ground truth and the floor-filtered view.
+"""
+
+from repro.tracing.idle import ActiveAfterIdleSampler, IdlePeriodTracker
+from repro.tracing.socwatch import SocWatchView, IDLE_BUCKETS_NS
+from repro.tracing.events import TransitionEvent, TransitionTrace
+
+__all__ = [
+    "IdlePeriodTracker",
+    "ActiveAfterIdleSampler",
+    "SocWatchView",
+    "IDLE_BUCKETS_NS",
+    "TransitionEvent",
+    "TransitionTrace",
+]

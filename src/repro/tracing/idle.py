@@ -1,0 +1,111 @@
+"""Fully-idle period extraction and post-idle activity sampling."""
+
+from __future__ import annotations
+
+from repro.hw.signals import Signal
+from repro.sim.engine import Simulator
+from repro.units import US
+
+
+class IdlePeriodTracker:
+    """Records the durations of fully-idle periods.
+
+    A fully idle period is a maximal interval during which *all*
+    cores are in CC1 or deeper — the tracker watches the machine's
+    all-idle AND-tree output. Periods still open at :meth:`snapshot`
+    time are counted up to "now" (they are real opportunity).
+    """
+
+    def __init__(self, sim: Simulator, all_idle: Signal):
+        self.sim = sim
+        self.all_idle = all_idle
+        self.periods_ns: list[int] = []
+        self._open_since: int | None = sim.now if all_idle.value else None
+        self._window_start = sim.now
+        all_idle.watch(self._on_change)
+
+    def _on_change(self, signal: Signal, old: bool, new: bool) -> None:
+        if new:
+            self._open_since = self.sim.now
+        elif self._open_since is not None:
+            self.periods_ns.append(self.sim.now - self._open_since)
+            self._open_since = None
+
+    # -- windowing ---------------------------------------------------------
+    def reset(self) -> None:
+        """Start a fresh measurement window."""
+        self.periods_ns.clear()
+        self._window_start = self.sim.now
+        if self.all_idle.value:
+            self._open_since = self.sim.now
+
+    def snapshot(self) -> list[int]:
+        """All period durations, including the currently open one."""
+        result = list(self.periods_ns)
+        if self._open_since is not None and self.sim.now > self._open_since:
+            result.append(self.sim.now - self._open_since)
+        return result
+
+    @property
+    def window_ns(self) -> int:
+        """Length of the current measurement window."""
+        return self.sim.now - self._window_start
+
+    def idle_fraction(self) -> float:
+        """Ground-truth fully-idle fraction of the window."""
+        window = self.window_ns
+        if window == 0:
+            return 0.0
+        return sum(self.snapshot()) / window
+
+
+class ActiveAfterIdleSampler:
+    """Distribution of the number of cores active after a full idle.
+
+    The paper's performance model needs, for each fully-idle period,
+    how many cores become active right after it ends (Sec. 6): each
+    of those cores' first request eats the PC1A transition cost. We
+    sample the core states a short horizon after the all-idle signal
+    drops.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        all_idle: Signal,
+        cores: list,
+        horizon_ns: int = 5 * US,
+    ):
+        self.sim = sim
+        self.cores = cores
+        self.horizon_ns = horizon_ns
+        self.samples: list[int] = []
+        all_idle.watch(self._on_change)
+
+    def _on_change(self, signal: Signal, old: bool, new: bool) -> None:
+        if not new:
+            self.sim.schedule(self.horizon_ns, self._sample)
+
+    def _sample(self) -> None:
+        active = sum(1 for core in self.cores if not core.in_cc1.value)
+        self.samples.append(max(1, active))
+
+    def reset(self) -> None:
+        """Start a fresh measurement window."""
+        self.samples.clear()
+
+    def mean_active(self) -> float:
+        """Average number of cores woken per idle-period exit."""
+        if not self.samples:
+            return 1.0
+        return sum(self.samples) / len(self.samples)
+
+    def distribution(self) -> dict[int, float]:
+        """Histogram of active-core counts (fractions)."""
+        if not self.samples:
+            return {}
+        total = len(self.samples)
+        counts: dict[int, int] = {}
+        for n in self.samples:
+            counts[n] = counts.get(n, 0) + 1
+        return {n: c / total for n, c in sorted(counts.items())}

@@ -1,0 +1,81 @@
+"""SoCWatch-style view over the idle-period trace.
+
+Reproduces the measurement limitation the paper documents (Sec. 6):
+SoCWatch does not record idle periods shorter than ~10 µs, so the
+PC1A opportunity derived from its traces is a lower bound. The view
+exposes both the filtered estimate and the drop statistics, plus the
+duration histogram of Fig. 6(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tracing.idle import IdlePeriodTracker
+from repro.units import MS, US
+
+#: Fig. 6(c) duration buckets: < 20 µs, 20–200 µs, 0.2–2 ms, > 2 ms.
+IDLE_BUCKETS_NS: tuple[tuple[str, int, int], ...] = (
+    ("<20us", 0, 20 * US),
+    ("20us-200us", 20 * US, 200 * US),
+    ("200us-2ms", 200 * US, 2 * MS),
+    (">2ms", 2 * MS, 1 << 62),
+)
+
+
+@dataclass(frozen=True)
+class OpportunityEstimate:
+    """PC1A opportunity from a trace window."""
+
+    ground_truth_fraction: float
+    socwatch_fraction: float
+    periods_total: int
+    periods_dropped: int
+    mean_period_ns: float
+
+
+class SocWatchView:
+    """Floor-filtered view over an :class:`IdlePeriodTracker`."""
+
+    #: The sampling floor the paper reports for SoCWatch.
+    SAMPLING_FLOOR_NS = 10 * US
+
+    def __init__(
+        self,
+        tracker: IdlePeriodTracker,
+        floor_ns: int = SAMPLING_FLOOR_NS,
+    ):
+        if floor_ns < 0:
+            raise ValueError(f"floor must be non-negative, got {floor_ns}")
+        self.tracker = tracker
+        self.floor_ns = floor_ns
+
+    def visible_periods_ns(self) -> list[int]:
+        """Idle periods long enough for SoCWatch to record."""
+        return [p for p in self.tracker.snapshot() if p >= self.floor_ns]
+
+    def opportunity(self) -> OpportunityEstimate:
+        """Ground-truth vs floor-filtered PC1A residency estimate."""
+        window = self.tracker.window_ns
+        periods = self.tracker.snapshot()
+        visible = [p for p in periods if p >= self.floor_ns]
+        ground = sum(periods) / window if window else 0.0
+        seen = sum(visible) / window if window else 0.0
+        return OpportunityEstimate(
+            ground_truth_fraction=ground,
+            socwatch_fraction=seen,
+            periods_total=len(periods),
+            periods_dropped=len(periods) - len(visible),
+            mean_period_ns=(sum(periods) / len(periods)) if periods else 0.0,
+        )
+
+    def duration_histogram(self) -> dict[str, float]:
+        """Fig. 6(c): fraction of idle periods per duration bucket."""
+        periods = self.tracker.snapshot()
+        if not periods:
+            return {label: 0.0 for label, _, _ in IDLE_BUCKETS_NS}
+        total = len(periods)
+        result = {}
+        for label, lo, hi in IDLE_BUCKETS_NS:
+            result[label] = sum(1 for p in periods if lo <= p < hi) / total
+        return result

@@ -1,0 +1,55 @@
+"""Workload generators for the three evaluated services.
+
+The paper drives its server with Memcached (Mutilate replaying the
+Facebook ETC mix), Kafka (consumer/producer perf) and MySQL (sysbench
+OLTP). We reproduce each as an open workload model whose *observable
+baseline behaviour* — per-core and all-idle residency versus load —
+is calibrated against the paper's Fig. 6/8/9, so that everything the
+simulator then predicts (power savings, latency impact) is a genuine
+model output rather than a fit. See DESIGN.md Sec. 2 for the
+substitution argument.
+"""
+
+from repro.workloads.base import Request, Workload, NullWorkload
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    ConvoyArrivals,
+    GammaArrivals,
+    MmppArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.service import (
+    ExponentialService,
+    FixedService,
+    LoadCalibratedService,
+    LognormalService,
+    ServiceModel,
+)
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.kafka import KafkaWorkload
+from repro.workloads.mysql import MySqlWorkload, MYSQL_PRESETS
+from repro.workloads.kafka import KAFKA_PRESETS
+from repro.workloads.upi_traffic import CompositeWorkload, UpiSnoopTraffic
+
+__all__ = [
+    "Request",
+    "Workload",
+    "NullWorkload",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "GammaArrivals",
+    "MmppArrivals",
+    "ConvoyArrivals",
+    "ServiceModel",
+    "ExponentialService",
+    "FixedService",
+    "LognormalService",
+    "LoadCalibratedService",
+    "MemcachedWorkload",
+    "KafkaWorkload",
+    "KAFKA_PRESETS",
+    "MySqlWorkload",
+    "MYSQL_PRESETS",
+    "UpiSnoopTraffic",
+    "CompositeWorkload",
+]

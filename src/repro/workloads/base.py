@@ -1,0 +1,118 @@
+"""Workload base classes and the request descriptor."""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+
+def workload_rng(sim: Simulator, name: str) -> np.random.Generator:
+    """A deterministic RNG stream private to one workload.
+
+    Deriving the stream from the simulator seed plus the workload name
+    keeps runs reproducible while decoupling the workload's draws from
+    the machine's (dispatcher) draws — so two configurations fed the
+    same seed see *exactly* the same arrival and service sequence,
+    making paired latency/power comparisons noise-free.
+    """
+    return np.random.default_rng((sim.seed, zlib.crc32(name.encode())))
+
+
+class Request:
+    """One client request as seen by the server NIC."""
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "request_id",
+        "kind",
+        "service_ns",
+        "wire_bytes",
+        "response_bytes",
+        "dram_bytes",
+        "arrival_ns",
+        "dispatched_ns",
+        "started_ns",
+        "completed_ns",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        service_ns: int,
+        wire_bytes: int = 128,
+        response_bytes: int = 1024,
+        dram_bytes: int = 16_384,
+    ):
+        if service_ns <= 0:
+            raise ValueError(f"service time must be positive, got {service_ns}")
+        self.request_id = next(Request._ids)
+        self.kind = kind
+        self.service_ns = int(service_ns)
+        self.wire_bytes = int(wire_bytes)
+        self.response_bytes = int(response_bytes)
+        self.dram_bytes = int(dram_bytes)
+        self.arrival_ns: int | None = None
+        self.dispatched_ns: int | None = None
+        self.started_ns: int | None = None
+        self.completed_ns: int | None = None
+
+    @property
+    def server_latency_ns(self) -> int:
+        """Arrival at the NIC to completion, excluding the network."""
+        if self.arrival_ns is None or self.completed_ns is None:
+            raise ValueError("request has not completed")
+        return self.completed_ns - self.arrival_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Request(#{self.request_id}, {self.kind}, {self.service_ns} ns)"
+
+
+class InjectTarget(Protocol):
+    """Anything a workload can inject requests into (a server machine)."""
+
+    def inject(self, request: Request) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Workload:
+    """Base class for request generators.
+
+    Subclasses implement :meth:`start`, launching their generation
+    processes on the given simulator, and report their intended
+    offered load through :attr:`offered_qps` (used to size
+    measurement windows and label figures).
+    """
+
+    name = "workload"
+
+    @property
+    def offered_qps(self) -> float:
+        """Intended request rate in queries per second."""
+        raise NotImplementedError
+
+    def start(self, sim: Simulator, target: InjectTarget) -> None:
+        """Begin generating requests into ``target``."""
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        """Human-readable parameter summary for reports."""
+        return {"name": self.name, "offered_qps": self.offered_qps}
+
+
+class NullWorkload(Workload):
+    """No requests at all: the fully idle server of Fig. 7(a)."""
+
+    name = "idle"
+
+    @property
+    def offered_qps(self) -> float:
+        return 0.0
+
+    def start(self, sim: Simulator, target: InjectTarget) -> None:
+        """Nothing to start."""

@@ -1,0 +1,13 @@
+"""Shared machine-building helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.server.configs import cdeep, cpc1a, cshallow
+from repro.server.machine import ServerMachine
+
+_BUILDERS = {"Cshallow": cshallow, "Cdeep": cdeep, "CPC1A": cpc1a}
+
+
+def build_machine(config_name: str, seed: int = 0) -> ServerMachine:
+    """Build a server machine for one of the three paper configs."""
+    return ServerMachine(_BUILDERS[config_name](), seed=seed)

@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _machines import build_machine  # noqa: E402
+from repro.power.meter import PowerMeter  # noqa: E402
+from repro.server.machine import ServerMachine  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def meter(sim: Simulator) -> PowerMeter:
+    """A power meter bound to the fresh simulator."""
+    return PowerMeter(sim)
+
+
+@pytest.fixture
+def apc_machine() -> ServerMachine:
+    """A CPC1A machine (APMU + IOSM + CLMR wired up)."""
+    return build_machine("CPC1A", seed=7)
+
+
+@pytest.fixture
+def shallow_machine() -> ServerMachine:
+    """A Cshallow machine (static PC0)."""
+    return build_machine("Cshallow", seed=7)
+
+
+@pytest.fixture
+def deep_machine() -> ServerMachine:
+    """A Cdeep machine (GPMU with PC6)."""
+    return build_machine("Cdeep", seed=7)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long calibration/integration runs (seconds each)"
+    )

@@ -1,0 +1,159 @@
+"""Tests for the analysis layer: savings, perf model, tables, report."""
+
+import pytest
+
+from repro.analysis.opportunity import opportunity_from_result
+from repro.analysis.perf import estimate_perf_impact
+from repro.analysis.report import (
+    PaperComparison,
+    ascii_bars,
+    comparison_table,
+    format_table,
+)
+from repro.analysis.savings import savings_between
+from repro.analysis.tables import TABLE1_PAPER, build_table1, build_table2, format_table1
+from repro.server.configs import cpc1a, cshallow
+from repro.server.experiment import run_experiment
+from repro.units import MS
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def paired_results(qps=20_000, seed=17, duration=25 * MS):
+    workload = MemcachedWorkload(qps)
+    base = run_experiment(workload, cshallow(), duration_ns=duration,
+                          warmup_ns=5 * MS, seed=seed)
+    apc = run_experiment(workload, cpc1a(), duration_ns=duration,
+                         warmup_ns=5 * MS, seed=seed)
+    return base, apc
+
+
+class TestSavings:
+    def test_savings_point_fields(self):
+        base, apc = paired_results()
+        point = savings_between(base, apc)
+        assert point.baseline_power_w > point.apc_power_w
+        assert 0 < point.savings_fraction < 1
+        assert point.saved_watts == pytest.approx(
+            point.baseline_power_w - point.apc_power_w
+        )
+        assert point.savings_percent == pytest.approx(
+            100 * point.savings_fraction
+        )
+
+    def test_mismatched_workloads_rejected(self):
+        base, apc = paired_results()
+        object.__setattr__(apc, "workload_name", "other")
+        with pytest.raises(ValueError):
+            savings_between(base, apc)
+
+    def test_mismatched_rates_rejected(self):
+        base, apc = paired_results()
+        object.__setattr__(apc, "offered_qps", 999.0)
+        with pytest.raises(ValueError):
+            savings_between(base, apc)
+
+
+class TestPerfModel:
+    def test_impact_below_paper_bound(self):
+        base, apc = paired_results()
+        estimate = estimate_perf_impact(apc, base.latency.mean_us)
+        assert estimate.relative_impact_percent < 0.1  # paper's claim
+
+    def test_added_latency_formula(self):
+        base, apc = paired_results()
+        estimate = estimate_perf_impact(apc, base.latency.mean_us)
+        expected_total = (
+            apc.pc1a_exits * 200 * apc.active_after_idle_mean
+        )
+        assert estimate.added_latency_ns_total == pytest.approx(expected_total)
+
+    def test_zero_cost_means_zero_impact(self):
+        _, apc = paired_results()
+        estimate = estimate_perf_impact(apc, 100.0, transition_cost_ns=0)
+        assert estimate.relative_impact == 0.0
+
+    def test_negative_cost_rejected(self):
+        _, apc = paired_results()
+        with pytest.raises(ValueError):
+            estimate_perf_impact(apc, 100.0, transition_cost_ns=-1)
+
+
+class TestOpportunity:
+    def test_point_extraction(self):
+        base, _ = paired_results()
+        point = opportunity_from_result(base)
+        assert point.cc0_fraction == pytest.approx(base.utilization)
+        assert point.all_idle_fraction == pytest.approx(base.all_idle_fraction)
+        assert point.socwatch_opportunity <= point.all_idle_fraction + 1e-9
+        assert sum(point.idle_histogram.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_short_idle_share_reads_20_200us_bucket(self):
+        base, _ = paired_results()
+        point = opportunity_from_result(base)
+        assert point.short_idle_share == point.idle_histogram["20us-200us"]
+
+
+class TestReportHelpers:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[:2])
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_ascii_bars_scale_to_peak(self):
+        chart = ascii_bars(["x", "y"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_ascii_bars_empty(self):
+        assert ascii_bars([], []) == "(no data)"
+
+    def test_ascii_bars_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_paper_comparison_verdicts(self):
+        assert PaperComparison("m", 10.0, 10.5).verdict == "MATCH"
+        assert PaperComparison("m", 10.0, 14.0, rel_tolerance=0.25).verdict == "NEAR"
+        assert PaperComparison("m", 10.0, 30.0).verdict == "OFF"
+
+    def test_paper_comparison_zero_paper_value(self):
+        row = PaperComparison("m", 0.0, 0.0)
+        assert row.relative_error == 0.0
+        assert PaperComparison("m", 0.0, 1.0).relative_error == float("inf")
+
+    def test_comparison_table_renders(self):
+        text = comparison_table(
+            [PaperComparison("idle savings", 41.0, 41.2, unit="%")]
+        )
+        assert "MATCH" in text
+        assert "idle savings" in text
+
+
+class TestTables:
+    def test_table1_rows_match_paper(self):
+        for row in build_table1():
+            paper_soc, paper_dram, _ = TABLE1_PAPER[row.package_state]
+            assert row.soc_power_w == pytest.approx(paper_soc, abs=0.6)
+            assert row.dram_power_w == pytest.approx(paper_dram, abs=0.5)
+
+    def test_table1_pc1a_latency_within_budget(self):
+        rows = {r.package_state: r for r in build_table1()}
+        assert rows["PC1A"].latency_ns <= 200
+        assert rows["PC6"].latency_ns >= 50_000
+
+    def test_format_table1_mentions_all_states(self):
+        text = format_table1()
+        for state in ("PC0", "PC0idle", "PC6", "PC1A"):
+            assert state in text
+
+    def test_table2_contents(self):
+        text = build_table2()
+        assert "CKE off" in text
+        assert "Self Refresh" in text
+        assert "L0p" in text

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs and prints what it promises.
+
+Marked slow — each example runs real simulations. These keep the
+examples from rotting as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py", "10000")
+        assert "Power savings" in output
+        assert "PC1A residency" in output
+
+    def test_idle_power_breakdown(self):
+        output = run_example("idle_power_breakdown.py")
+        assert "TOTAL (SoC+DRAM)" in output
+        assert "49.5 W" in output  # Cshallow idle, Table 1
+        assert "12.4 W" in output  # Cdeep idle
+        assert "29.2 W" in output  # CPC1A idle
+
+    def test_database_and_streaming(self):
+        output = run_example("database_and_streaming.py")
+        for label in ("MySQL low", "MySQL high", "Kafka low", "Kafka high"):
+            assert label in output
+
+    def test_memcached_sweep(self):
+        output = run_example("memcached_sweep.py", timeout=900)
+        assert "PC1A opportunity" in output
+        assert "APC power savings" in output
+
+    def test_custom_soc(self):
+        output = run_example("custom_soc.py")
+        assert "28-core" in output
+
+    def test_datacenter_fleet(self):
+        output = run_example("datacenter_fleet.py")
+        assert "Energy-proportionality score" in output

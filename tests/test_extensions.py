@@ -1,0 +1,224 @@
+"""Tests for the extension modules: P-states, OS ticks, fleet model, CLI."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.cluster import FleetModel, PowerCurve, fleet_savings_percent
+from repro.cli import main as cli_main
+from repro.power.budgets import CorePowerSpec
+from repro.server.configs import MachineConfig, cpc1a
+from repro.server.experiment import run_experiment
+from repro.server.machine import ServerMachine
+from repro.server.ticks import OsTimerTicks
+from repro.soc.pstates import PState, PStateTable, SKX_PSTATES
+from repro.units import MS
+from repro.workloads.base import NullWorkload
+
+
+class TestPStates:
+    def test_skx_table_nominal_is_2_2ghz(self):
+        assert SKX_PSTATES.nominal.freq_ghz == 2.2
+
+    def test_power_scale_is_one_at_nominal(self):
+        assert SKX_PSTATES.power_scale(SKX_PSTATES.nominal) == pytest.approx(1.0)
+
+    def test_power_scale_decreases_with_frequency(self):
+        scales = [SKX_PSTATES.power_scale(s) for s in SKX_PSTATES.states]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_min_pstate_saves_most_power(self):
+        pn = SKX_PSTATES.by_name("Pn")
+        # 0.8 GHz at 0.58 V: roughly a 3-4x active-power reduction.
+        assert 0.2 <= SKX_PSTATES.power_scale(pn) <= 0.45
+
+    def test_service_scale_inverse_of_frequency(self):
+        pn = SKX_PSTATES.by_name("Pn")
+        assert SKX_PSTATES.service_scale(pn) == pytest.approx(2.2 / 0.8)
+
+    def test_scaled_core_spec_preserves_idle_power(self):
+        base = CorePowerSpec()
+        scaled = SKX_PSTATES.scaled_core_spec(base, SKX_PSTATES.by_name("Pn"))
+        assert scaled.cc0_w < base.cc0_w
+        assert scaled.cc1_w == base.cc1_w
+        assert scaled.cc6_w == base.cc6_w
+
+    def test_lookup_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            SKX_PSTATES.by_name("P9")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PState("bad", freq_ghz=0, voltage_v=0.8)
+        with pytest.raises(ValueError):
+            PStateTable(states=())
+        with pytest.raises(ValueError):
+            PStateTable(states=(
+                PState("slow", 1.0, 0.6), PState("fast", 2.0, 0.8)
+            ))  # wrong order
+
+
+class TestOsTimerTicks:
+    def _ticked_config(self, hz, mode="periodic"):
+        return dataclasses.replace(cpc1a(), timer_tick_hz=hz, tick_mode=mode)
+
+    def test_periodic_ticks_fragment_pc1a(self):
+        tickless = run_experiment(NullWorkload(), cpc1a(),
+                                  duration_ns=50 * MS, warmup_ns=10 * MS)
+        ticked = run_experiment(NullWorkload(), self._ticked_config(1000),
+                                duration_ns=50 * MS, warmup_ns=10 * MS)
+        assert ticked.pc1a_residency() < tickless.pc1a_residency()
+        assert ticked.pc1a_exits > 100  # per-core 1 kHz ticks
+
+    def test_nohz_idle_suppresses_idle_ticks(self):
+        machine = ServerMachine(self._ticked_config(1000, "nohz_idle"))
+        machine.sim.run(until_ns=50 * MS)
+        assert machine.ticks.ticks_suppressed > machine.ticks.ticks_delivered
+
+    def test_higher_rates_hurt_more(self):
+        residencies = []
+        for hz in (100, 1000):
+            result = run_experiment(NullWorkload(), self._ticked_config(hz),
+                                    duration_ns=50 * MS, warmup_ns=10 * MS)
+            residencies.append(result.pc1a_residency())
+        assert residencies[1] < residencies[0]
+
+    def test_tickless_config_has_no_tick_source(self):
+        machine = ServerMachine(cpc1a())
+        assert machine.ticks is None
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            OsTimerTicks(sim, [], 0)
+        with pytest.raises(ValueError):
+            OsTimerTicks(sim, [], 100, mode="chaotic")
+        with pytest.raises(ValueError):
+            OsTimerTicks(sim, [], 100, tick_work_ns=0)
+
+
+class TestPowerCurve:
+    def _curve(self):
+        return PowerCurve(
+            utilizations=(0.0, 0.1, 0.5, 1.0),
+            powers_w=(49.5, 53.0, 70.0, 92.0),
+            label="Cshallow",
+        )
+
+    def test_interpolation(self):
+        curve = self._curve()
+        assert curve.power_at(0.05) == pytest.approx(51.25)
+        assert curve.power_at(0.0) == 49.5
+        assert curve.power_at(2.0) == 92.0  # clamped
+
+    def test_idle_and_peak(self):
+        curve = self._curve()
+        assert curve.idle_power_w == 49.5
+        assert curve.peak_power_w == 92.0
+
+    def test_proportionality_score_bounds(self):
+        assert 0.0 <= self._curve().proportionality_score() <= 1.0
+
+    def test_flat_curve_scores_low(self):
+        flat = PowerCurve((0.0, 1.0), (80.0, 80.0))
+        proportional = PowerCurve((0.0, 1.0), (0.0, 80.0))
+        assert flat.proportionality_score() < 0.3
+        assert proportional.proportionality_score() > 0.95
+
+    def test_lower_idle_power_scores_higher(self):
+        shallow = PowerCurve((0.0, 1.0), (49.5, 92.0))
+        apc = PowerCurve((0.0, 1.0), (29.1, 92.0))
+        assert apc.proportionality_score() > shallow.proportionality_score()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerCurve((0.0,), (1.0,))
+        with pytest.raises(ValueError):
+            PowerCurve((0.5, 0.0), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            PowerCurve((0.0, 1.0), (1.0,))
+
+
+class TestFleetModel:
+    def _fleet(self):
+        curve = PowerCurve((0.0, 0.5, 1.0), (50.0, 70.0, 90.0))
+        return FleetModel(curve=curve, n_servers=10)
+
+    def test_fleet_power_spreads_load(self):
+        fleet = self._fleet()
+        assert fleet.fleet_power_w(0.0) == pytest.approx(500.0)
+        assert fleet.fleet_power_w(5.0) == pytest.approx(700.0)
+        assert fleet.fleet_power_w(10.0) == pytest.approx(900.0)
+
+    def test_load_bounds_enforced(self):
+        fleet = self._fleet()
+        with pytest.raises(ValueError):
+            fleet.fleet_power_w(-1.0)
+        with pytest.raises(ValueError):
+            fleet.fleet_power_w(11.0)
+
+    def test_annual_energy(self):
+        fleet = self._fleet()
+        assert fleet.annual_energy_kwh(0.0) == pytest.approx(
+            500.0 * 24 * 365 / 1000.0
+        )
+
+    def test_fleet_savings(self):
+        base = self._fleet()
+        apc_curve = PowerCurve((0.0, 0.5, 1.0), (30.0, 60.0, 90.0))
+        apc = FleetModel(curve=apc_curve, n_servers=10)
+        assert fleet_savings_percent(base, apc, 0.0) == pytest.approx(40.0)
+        assert fleet_savings_percent(base, apc, 10.0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetModel(curve=self._fleet().curve, n_servers=0)
+
+
+class TestCli:
+    def test_latency_command(self, capsys):
+        assert cli_main(["latency"]) == 0
+        output = capsys.readouterr().out
+        assert "worst-case transition" in output
+        assert "176 ns" in output
+
+    def test_area_command(self, capsys):
+        assert cli_main(["area"]) == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_area_width_flag(self, capsys):
+        assert cli_main(["area", "--width-bits", "512"]) == 0
+        output = capsys.readouterr().out
+        assert "0.75" not in output.split("TOTAL")[1].split("%")[0]
+
+    def test_idle_command(self, capsys):
+        assert cli_main(["idle"]) == 0
+        output = capsys.readouterr().out
+        for name in ("Cshallow", "Cdeep", "CPC1A"):
+            assert name in output
+
+    def test_run_command(self, capsys):
+        code = cli_main([
+            "run", "--workload", "memcached", "--qps", "10000",
+            "--config", "CPC1A", "--duration-ms", "30", "--warmup-ms", "5",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "PC1A residency" in output
+
+    def test_run_idle_workload(self, capsys):
+        code = cli_main([
+            "run", "--workload", "idle", "--config", "Cdeep",
+            "--duration-ms", "20", "--warmup-ms", "5",
+        ])
+        assert code == 0
+        assert "PC6" in capsys.readouterr().out
+
+    def test_validate_command(self, capsys):
+        assert cli_main(["validate"]) == 0
+        output = capsys.readouterr().out
+        assert "MATCH" in output
+        assert "OFF" not in output
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])

@@ -1,0 +1,166 @@
+"""Tests for the SKX power ledger against the paper's Table 1 / Sec. 5.4."""
+
+import dataclasses
+
+import pytest
+
+from repro.power.budgets import (
+    CorePowerSpec,
+    DEFAULT_BUDGET,
+    DMI_POWER,
+    DramPowerSpec,
+    LinkPowerSpec,
+    MemoryControllerPowerSpec,
+    PCIE_POWER,
+    SkxPowerBudget,
+    UPI_POWER,
+)
+
+
+class TestLedgerClosure:
+    """The headline calibration: every aggregate must match the paper."""
+
+    def test_default_budget_validates(self):
+        DEFAULT_BUDGET.validate()
+
+    def test_pc0idle_soc_is_44w(self):
+        assert DEFAULT_BUDGET.soc_power_w("PC0idle") == pytest.approx(44.0, abs=0.2)
+
+    def test_pc6_soc_is_11_9w(self):
+        assert DEFAULT_BUDGET.soc_power_w("PC6") == pytest.approx(11.9, abs=0.2)
+
+    def test_pc1a_soc_is_27_5w(self):
+        assert DEFAULT_BUDGET.soc_power_w("PC1A") == pytest.approx(27.5, abs=0.2)
+
+    def test_pc0_soc_within_85w(self):
+        assert DEFAULT_BUDGET.soc_power_w("PC0") <= 85.2
+
+    def test_dram_idle_is_5_5w(self):
+        assert DEFAULT_BUDGET.dram_power_w("PC0idle") == pytest.approx(5.5, abs=0.1)
+
+    def test_dram_pc6_is_0_51w(self):
+        assert DEFAULT_BUDGET.dram_power_w("PC6") == pytest.approx(0.51, abs=0.05)
+
+    def test_dram_pc1a_is_1_61w(self):
+        assert DEFAULT_BUDGET.dram_power_w("PC1A") == pytest.approx(1.61, abs=0.05)
+
+    def test_total_power_combines_soc_and_dram(self):
+        total = DEFAULT_BUDGET.total_power_w("PC1A")
+        assert total == pytest.approx(29.1, abs=0.2)  # Table 1: 29.1 W
+
+
+class TestSec54Deltas:
+    def test_cores_diff_12_1w(self):
+        assert DEFAULT_BUDGET.cores_diff_w() == pytest.approx(12.1, abs=0.1)
+
+    def test_ios_diff_3_5w(self):
+        assert DEFAULT_BUDGET.ios_diff_w() == pytest.approx(3.5, abs=0.1)
+
+    def test_plls_diff_56mw(self):
+        assert DEFAULT_BUDGET.plls_diff_w() == pytest.approx(0.056, abs=0.001)
+
+    def test_dram_diff_1_1w(self):
+        assert DEFAULT_BUDGET.dram_diff_w() == pytest.approx(1.1, abs=0.05)
+
+    def test_validate_catches_broken_ledger(self):
+        broken = dataclasses.replace(
+            DEFAULT_BUDGET, core=CorePowerSpec(cc1_w=3.0)
+        )
+        with pytest.raises(ValueError, match="ledger does not close"):
+            broken.validate()
+
+    def test_validate_catches_pc0_overrun(self):
+        hot = dataclasses.replace(
+            DEFAULT_BUDGET, core=CorePowerSpec(cc0_w=9.0, cc1_w=1.21)
+        )
+        with pytest.raises(ValueError):
+            hot.validate()
+
+
+class TestComponentSpecs:
+    def test_core_state_lookup(self):
+        spec = CorePowerSpec()
+        assert spec.for_state("CC0") == spec.cc0_w
+        assert spec.for_state("CC6") == spec.cc6_w
+
+    def test_core_unknown_state(self):
+        with pytest.raises(KeyError):
+            CorePowerSpec().for_state("CC9")
+
+    def test_link_states_map_to_power(self):
+        assert PCIE_POWER.for_state("L0") == PCIE_POWER.l0_w
+        assert PCIE_POWER.for_state("L0s") == PCIE_POWER.shallow_w
+        assert PCIE_POWER.for_state("L1") == PCIE_POWER.l1_w
+        assert PCIE_POWER.for_state("NDA") == PCIE_POWER.l1_w
+
+    def test_upi_shallow_is_l0p(self):
+        assert UPI_POWER.shallow_state == "L0p"
+        assert UPI_POWER.for_state("L0p") == UPI_POWER.shallow_w
+
+    def test_link_power_ordering(self):
+        for spec in (PCIE_POWER, DMI_POWER, UPI_POWER):
+            assert spec.l0_w > spec.shallow_w > spec.l1_w
+
+    def test_link_power_class_lookup(self):
+        assert PCIE_POWER.for_state_class("shallow") == PCIE_POWER.shallow_w
+        with pytest.raises(KeyError):
+            PCIE_POWER.for_state_class("L2")
+
+    def test_l0s_saves_roughly_half_of_l0(self):
+        # Paper Sec. 3.1: L0s provides up to ~50 % of L0 savings.
+        saving = 1.0 - PCIE_POWER.shallow_w / PCIE_POWER.l0_w
+        assert 0.35 <= saving <= 0.7
+
+    def test_l0p_saves_roughly_quarter_of_l0(self):
+        # Paper Sec. 3.1: L0p up to ~25 % lower power than L0.
+        saving = 1.0 - UPI_POWER.shallow_w / UPI_POWER.l0_w
+        assert 0.15 <= saving <= 0.45
+
+    def test_mc_state_lookup(self):
+        spec = MemoryControllerPowerSpec()
+        assert spec.for_state("active") > spec.for_state("cke_off")
+        assert spec.for_state("cke_off") > spec.for_state("self_refresh")
+        with pytest.raises(KeyError):
+            spec.for_state("off")
+
+    def test_dram_modes_ordered(self):
+        spec = DramPowerSpec()
+        assert spec.idle_w > spec.cke_off_w > spec.self_refresh_w
+
+    def test_dram_cke_saves_at_least_half(self):
+        # Paper Sec. 3.1: CKE modes save >= 50 % vs active state.
+        spec = DramPowerSpec()
+        assert spec.cke_off_w <= 0.5 * spec.idle_w
+
+    def test_dram_unknown_mode(self):
+        with pytest.raises(KeyError):
+            DramPowerSpec().for_state("hibernate")
+
+    def test_unknown_package_state_rejected(self):
+        with pytest.raises(KeyError):
+            DEFAULT_BUDGET.soc_power_w("PC9")
+        with pytest.raises(KeyError):
+            DEFAULT_BUDGET.dram_power_w("PC9")
+        with pytest.raises(KeyError):
+            DEFAULT_BUDGET.links_power_w("L2")
+
+
+class TestClmSpec:
+    def test_voltage_interpolation_endpoints(self):
+        clm = DEFAULT_BUDGET.clm
+        assert clm.for_voltage(clm.nominal_v) == pytest.approx(clm.nominal_w)
+        assert clm.for_voltage(clm.retention_v) == pytest.approx(clm.retention_w)
+
+    def test_voltage_clamped_outside_range(self):
+        clm = DEFAULT_BUDGET.clm
+        assert clm.for_voltage(0.1) == pytest.approx(clm.retention_w)
+        assert clm.for_voltage(2.0) == pytest.approx(clm.nominal_w)
+
+    def test_interpolation_monotone(self):
+        clm = DEFAULT_BUDGET.clm
+        values = [clm.for_voltage(v) for v in (0.5, 0.6, 0.7, 0.8)]
+        assert values == sorted(values)
+
+    def test_retention_saves_most_of_clm_power(self):
+        clm = DEFAULT_BUDGET.clm
+        assert clm.retention_w < 0.3 * clm.nominal_w

@@ -1,0 +1,147 @@
+"""Tests for the FIVR / MBVR voltage regulator models."""
+
+import pytest
+
+from repro.power.fivr import (
+    Fivr,
+    Mbvr,
+    VID_STEP_V,
+    VrError,
+    vid_to_voltage,
+    voltage_to_vid,
+)
+
+
+class TestVidCoding:
+    def test_roundtrip(self):
+        for voltage in (0.5, 0.8, 1.0):
+            assert vid_to_voltage(voltage_to_vid(voltage)) == pytest.approx(
+                voltage, abs=VID_STEP_V / 2
+            )
+
+    def test_vid_range_enforced(self):
+        with pytest.raises(VrError):
+            vid_to_voltage(256)
+        with pytest.raises(VrError):
+            voltage_to_vid(5.0)
+
+
+class TestFivrRamps:
+    def test_paper_retention_ramp_is_150ns(self, sim):
+        fivr = Fivr(sim, "clm")
+        assert fivr.enter_retention() == 150
+        sim.run()
+        assert fivr.voltage == pytest.approx(0.5)
+
+    def test_exit_retention_is_150ns(self, sim):
+        fivr = Fivr(sim, "clm")
+        fivr.enter_retention()
+        sim.run()
+        assert fivr.exit_retention() == 150
+        sim.run()
+        assert fivr.voltage == pytest.approx(0.8)
+
+    def test_pwr_ok_deasserts_during_ramp(self, sim):
+        fivr = Fivr(sim, "clm")
+        assert fivr.pwr_ok.value
+        fivr.enter_retention()
+        assert not fivr.pwr_ok.value
+        sim.run()
+        assert fivr.pwr_ok.value
+
+    def test_mid_ramp_voltage_estimate(self, sim):
+        fivr = Fivr(sim, "clm")
+        fivr.enter_retention()
+        sim.run(until_ns=75)  # halfway through the 150 ns ramp
+        assert fivr.voltage == pytest.approx(0.65, abs=0.005)
+
+    def test_ramping_flag(self, sim):
+        fivr = Fivr(sim, "clm")
+        fivr.enter_retention()
+        assert fivr.ramping
+        sim.run()
+        assert not fivr.ramping
+
+    def test_set_same_voltage_is_instant(self, sim):
+        fivr = Fivr(sim, "clm")
+        assert fivr.set_voltage(0.8) == 0
+        assert fivr.pwr_ok.value
+
+    def test_ramp_count_increments(self, sim):
+        fivr = Fivr(sim, "clm")
+        fivr.enter_retention()
+        sim.run()
+        fivr.exit_retention()
+        sim.run()
+        assert fivr.ramp_count == 2
+
+
+class TestPreemptiveCommands:
+    """Paper Sec. 5.5 footnote 11: a new VID interrupts the ramp."""
+
+    def test_preempt_mid_ramp_starts_from_current_voltage(self, sim):
+        fivr = Fivr(sim, "clm")
+        fivr.enter_retention()  # heading to 0.5 V
+        sim.run(until_ns=75)  # now at ~0.65 V
+        ramp = fivr.exit_retention()  # preempt: back to 0.8 V
+        # Only ~150 mV to climb: ~75 ns, not a full 150 ns.
+        assert ramp == pytest.approx(75, abs=2)
+        sim.run()
+        assert fivr.voltage == pytest.approx(0.8)
+
+    def test_fast_exit_after_immediate_entry(self, sim):
+        fivr = Fivr(sim, "clm")
+        fivr.enter_retention()
+        sim.run(until_ns=10)  # barely started (0.78 V)
+        ramp = fivr.exit_retention()
+        assert ramp <= 25
+        sim.run()
+        assert fivr.pwr_ok.value
+        assert fivr.voltage == pytest.approx(0.8)
+
+    def test_voltage_never_overshoots(self, sim):
+        fivr = Fivr(sim, "clm")
+        fivr.enter_retention()
+        sim.run(until_ns=40)
+        fivr.exit_retention()
+        sim.run(until_ns=41)
+        assert 0.5 <= fivr.voltage <= 0.8
+
+
+class TestFivrValidation:
+    def test_retention_above_nominal_rejected(self, sim):
+        with pytest.raises(VrError):
+            Fivr(sim, "bad", nominal_v=0.5, retention_v=0.8)
+
+    def test_non_positive_voltage_rejected(self, sim):
+        with pytest.raises(VrError):
+            Fivr(sim, "bad", nominal_v=0.0)
+        fivr = Fivr(sim, "ok")
+        with pytest.raises(VrError):
+            fivr.set_voltage(0.0)
+
+    def test_voltage_change_callback_fires(self, sim):
+        seen = []
+        fivr = Fivr(sim, "clm", on_voltage_change=seen.append)
+        fivr.enter_retention()
+        sim.run()
+        assert seen[0] == pytest.approx(0.8)  # ramp start
+        assert seen[-1] == pytest.approx(0.5)  # settle
+
+    def test_rvid_register_is_8bit(self, sim):
+        fivr = Fivr(sim, "clm", retention_v=0.5)
+        assert 0 <= fivr.rvid <= 255
+        assert fivr.retention_v == pytest.approx(0.5)
+
+
+class TestMbvr:
+    def test_fixed_voltage(self):
+        assert Mbvr("Vccio", 0.95).voltage == pytest.approx(0.95)
+
+    def test_cannot_change_voltage(self):
+        with pytest.raises(VrError):
+            Mbvr("Vccio", 0.95).set_voltage(0.5)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(VrError):
+            Mbvr("bad", 0.0)

@@ -1,0 +1,152 @@
+"""Tests for power channels, the meter and residency counters."""
+
+import pytest
+
+from repro.power.meter import PowerMeter
+from repro.power.residency import ResidencyCounter
+from repro.units import S, US
+
+
+class TestPowerChannel:
+    def test_energy_integrates_constant_power(self, sim, meter):
+        ch = meter.channel("c", "package", power_w=10.0)
+        sim.run(until_ns=S)
+        assert ch.energy_j == pytest.approx(10.0)
+
+    def test_energy_integrates_piecewise(self, sim, meter):
+        ch = meter.channel("c", "package", power_w=10.0)
+        sim.schedule(S // 2, ch.set_power, 20.0)
+        sim.run(until_ns=S)
+        assert ch.energy_j == pytest.approx(5.0 + 10.0)
+
+    def test_set_power_same_value_is_exact(self, sim, meter):
+        ch = meter.channel("c", "package", power_w=5.0)
+        for i in range(10):
+            sim.schedule(i * 1000, ch.set_power, 5.0)
+        sim.run(until_ns=10_000)
+        assert ch.energy_j == pytest.approx(5.0 * 10_000 / S)
+
+    def test_negative_power_rejected(self, sim, meter):
+        ch = meter.channel("c", "package")
+        with pytest.raises(ValueError):
+            ch.set_power(-1.0)
+
+    def test_negative_initial_power_rejected(self, sim, meter):
+        with pytest.raises(ValueError):
+            meter.channel("c", "package", power_w=-0.1)
+
+    def test_add_energy_discrete_events(self, sim, meter):
+        ch = meter.channel("c", "dram", power_w=0.0)
+        ch.add_energy(0.25)
+        ch.add_energy(0.75)
+        assert ch.energy_j == pytest.approx(1.0)
+
+    def test_add_negative_energy_rejected(self, sim, meter):
+        ch = meter.channel("c", "dram")
+        with pytest.raises(ValueError):
+            ch.add_energy(-1e-9)
+
+    def test_reset_zeroes_energy(self, sim, meter):
+        ch = meter.channel("c", "package", power_w=10.0)
+        sim.run(until_ns=1_000_000)
+        ch.reset()
+        assert ch.energy_j == 0.0
+        sim.run(until_ns=2_000_000)
+        assert ch.energy_j == pytest.approx(10.0 * 1e-3)  # 10 W for 1 ms
+
+
+class TestPowerMeter:
+    def test_duplicate_channel_rejected(self, meter):
+        meter.channel("c", "package")
+        with pytest.raises(ValueError):
+            meter.channel("c", "dram")
+
+    def test_domain_filtering(self, sim, meter):
+        meter.channel("a", "package", power_w=10.0)
+        meter.channel("b", "dram", power_w=2.0)
+        assert meter.power_w("package") == pytest.approx(10.0)
+        assert meter.power_w("dram") == pytest.approx(2.0)
+        assert meter.power_w() == pytest.approx(12.0)
+
+    def test_energy_by_domain(self, sim, meter):
+        meter.channel("a", "package", power_w=10.0)
+        meter.channel("b", "dram", power_w=2.0)
+        sim.run(until_ns=S)
+        assert meter.energy_j("package") == pytest.approx(10.0)
+        assert meter.energy_j("dram") == pytest.approx(2.0)
+
+    def test_average_power(self, sim, meter):
+        meter.channel("a", "package", power_w=4.0)
+        sim.run(until_ns=S // 4)
+        assert meter.average_power_w("package", S // 4) == pytest.approx(4.0)
+
+    def test_average_power_rejects_bad_window(self, meter):
+        with pytest.raises(ValueError):
+            meter.average_power_w("package", 0)
+
+    def test_reset_all_channels(self, sim, meter):
+        meter.channel("a", "package", power_w=10.0)
+        meter.channel("b", "dram", power_w=2.0)
+        sim.run(until_ns=S)
+        meter.reset()
+        assert meter.energy_j() == 0.0
+
+    def test_contains_and_getitem(self, meter):
+        ch = meter.channel("a", "package")
+        assert "a" in meter
+        assert meter["a"] is ch
+        assert "zzz" not in meter
+
+
+class TestResidencyCounter:
+    def test_initial_state_accumulates(self, sim):
+        counter = ResidencyCounter(sim, "CC0")
+        sim.run(until_ns=100)
+        assert counter.residency_ns("CC0") == 100
+
+    def test_enter_splits_time(self, sim):
+        counter = ResidencyCounter(sim, "CC0")
+        sim.schedule(40, counter.enter, "CC1")
+        sim.run(until_ns=100)
+        assert counter.residency_ns("CC0") == 40
+        assert counter.residency_ns("CC1") == 60
+
+    def test_fractions_sum_to_one(self, sim):
+        counter = ResidencyCounter(sim, "A")
+        sim.schedule(30, counter.enter, "B")
+        sim.schedule(70, counter.enter, "C")
+        sim.run(until_ns=200)
+        fractions = counter.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["A"] == pytest.approx(0.15)
+
+    def test_reentering_same_state_is_noop(self, sim):
+        counter = ResidencyCounter(sim, "A")
+        sim.schedule(10, counter.enter, "A")
+        sim.run(until_ns=100)
+        assert counter.transitions() == 0
+
+    def test_transition_counting(self, sim):
+        counter = ResidencyCounter(sim, "A")
+        for t, state in ((10, "B"), (20, "A"), (30, "B")):
+            sim.schedule(t, counter.enter, state)
+        sim.run(until_ns=50)
+        assert counter.transitions() == 3
+        assert counter.transitions(src="A", dst="B") == 2
+        assert counter.entries("B") == 2
+
+    def test_reset_starts_new_window(self, sim):
+        counter = ResidencyCounter(sim, "A")
+        sim.run(until_ns=100)
+        counter.reset()
+        sim.schedule_at(150, counter.enter, "B")
+        sim.run(until_ns=200)
+        assert counter.total_ns() == 100
+        assert counter.residency_ns("A") == 50
+        assert counter.residency_ns("B") == 50
+        assert counter.transitions() == 1
+
+    def test_empty_window_fraction_zero(self, sim):
+        counter = ResidencyCounter(sim, "A")
+        assert counter.fraction("A") == 0.0
+        assert counter.fractions() == {}

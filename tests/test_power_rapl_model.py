@@ -1,0 +1,161 @@
+"""Tests for the RAPL emulation and the Eq. 1-3 analytical models."""
+
+import pytest
+
+from repro.power.budgets import DEFAULT_BUDGET
+from repro.power.model import Pc1aPowerDerivation, ResidencyWeightedModel
+from repro.power.pdn import PowerDeliveryNetwork, RegulatorKind
+from repro.power.rapl import RaplDomain, RaplInterface, RaplSampler
+from repro.units import S
+
+
+class TestRapl:
+    def test_counter_tracks_energy(self, sim, meter):
+        meter.channel("pkg", "package", power_w=10.0)
+        rapl = RaplInterface(meter)
+        sim.run(until_ns=S)
+        assert rapl.read_energy_j(RaplDomain.PACKAGE) == pytest.approx(
+            10.0, abs=0.001
+        )
+
+    def test_domains_are_independent(self, sim, meter):
+        meter.channel("pkg", "package", power_w=10.0)
+        meter.channel("mem", "dram", power_w=3.0)
+        rapl = RaplInterface(meter)
+        sim.run(until_ns=S)
+        assert rapl.read_energy_j(RaplDomain.DRAM) == pytest.approx(3.0, abs=0.001)
+
+    def test_counter_wraps_at_32_bits(self, sim, meter):
+        # 2^32 units of 2^-14 J = 262144 J; 300 W for ~1000 s exceeds it.
+        meter.channel("pkg", "package", power_w=300.0)
+        rapl = RaplInterface(meter)
+        sim.run(until_ns=1_000 * S)
+        raw = rapl.read_counter(RaplDomain.PACKAGE)
+        assert 0 <= raw <= RaplInterface.COUNTER_MASK
+        # Raw decoded energy is less than true energy (it wrapped).
+        assert rapl.read_energy_j(RaplDomain.PACKAGE) < 300.0 * 1_000
+
+    def test_counter_delta_handles_wrap(self):
+        near_top = RaplInterface.COUNTER_MASK - 5
+        assert RaplInterface.counter_delta(near_top, 10) == 16
+
+    def test_sampler_accumulates_across_wraps(self, sim, meter):
+        meter.channel("pkg", "package", power_w=300.0)
+        rapl = RaplInterface(meter)
+        sampler = RaplSampler(rapl, RaplDomain.PACKAGE)
+        # Sample every 100 s; the counter wraps roughly every 874 s.
+        for step in range(1, 21):
+            sim.run(until_ns=step * 100 * S)
+            sampler.sample()
+        assert sampler.energy_j == pytest.approx(300.0 * 2_000, rel=0.001)
+
+    def test_sampler_average_power(self, sim, meter):
+        meter.channel("pkg", "package", power_w=42.0)
+        sampler = RaplSampler(RaplInterface(meter), RaplDomain.PACKAGE)
+        sim.run(until_ns=10 * S)
+        assert sampler.average_power_w() == pytest.approx(42.0, rel=0.001)
+
+
+class TestEq1Model:
+    """The Sec. 2 analytical savings model."""
+
+    def test_idle_savings_is_41_percent(self):
+        model = ResidencyWeightedModel()
+        assert model.idle_savings().savings_percent == pytest.approx(41.0, abs=1.5)
+
+    def test_paper_5pct_load_example(self):
+        # Sec. 2: 57 % all-idle residency at 5 % load -> ~23 % savings.
+        model = ResidencyWeightedModel(p_pc0_w=52.0)
+        savings = model.savings(0.57)
+        assert savings.savings_percent == pytest.approx(23.0, abs=2.0)
+
+    def test_paper_10pct_load_example(self):
+        # Sec. 2: 39 % residency at 10 % load -> ~17 % savings.
+        model = ResidencyWeightedModel(p_pc0_w=52.0)
+        savings = model.savings(0.39)
+        assert savings.savings_percent == pytest.approx(17.0, abs=2.5)
+
+    def test_zero_residency_means_zero_savings(self):
+        assert ResidencyWeightedModel().savings(0.0).savings_fraction == 0.0
+
+    def test_savings_monotone_in_residency(self):
+        model = ResidencyWeightedModel()
+        values = [model.savings(r).savings_fraction for r in (0.1, 0.3, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_baseline_power_interpolates(self):
+        model = ResidencyWeightedModel(p_pc0_w=60.0, p_pc0idle_w=50.0, p_pc1a_w=30.0)
+        assert model.baseline_power_w(0.0) == pytest.approx(60.0)
+        assert model.baseline_power_w(1.0) == pytest.approx(50.0)
+        assert model.baseline_power_w(0.5) == pytest.approx(55.0)
+
+    def test_residency_out_of_range_rejected(self):
+        model = ResidencyWeightedModel()
+        with pytest.raises(ValueError):
+            model.savings(1.5)
+        with pytest.raises(ValueError):
+            model.savings(-0.1)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            ResidencyWeightedModel(p_pc0_w=-1.0)
+
+
+class TestEq23Derivation:
+    """The Sec. 5.4 PC1A power derivation."""
+
+    def test_paper_numbers_give_27_5w_soc(self):
+        derivation = Pc1aPowerDerivation()
+        assert derivation.p_soc_pc1a_w == pytest.approx(27.556, abs=0.01)
+
+    def test_paper_numbers_give_1_61w_dram(self):
+        assert Pc1aPowerDerivation().p_dram_pc1a_w == pytest.approx(1.61, abs=0.01)
+
+    def test_total_matches_table1(self):
+        assert Pc1aPowerDerivation().p_total_pc1a_w == pytest.approx(29.1, abs=0.2)
+
+    def test_from_budget_matches_paper_derivation(self):
+        ours = Pc1aPowerDerivation.from_budget(DEFAULT_BUDGET)
+        paper = Pc1aPowerDerivation()
+        assert ours.p_soc_pc1a_w == pytest.approx(paper.p_soc_pc1a_w, abs=0.3)
+        assert ours.p_dram_pc1a_w == pytest.approx(paper.p_dram_pc1a_w, abs=0.1)
+
+
+class TestPdn:
+    def test_nine_primary_domains(self):
+        pdn = PowerDeliveryNetwork()
+        assert len(pdn.domains) == 9
+
+    def test_clm_domains_are_fivr_and_retention_capable(self):
+        pdn = PowerDeliveryNetwork()
+        for name in ("Vccclm0", "Vccclm1"):
+            domain = pdn.domain(name)
+            assert domain.regulator is RegulatorKind.FIVR
+            assert domain.retention_capable
+
+    def test_io_domains_are_mbvr(self):
+        # This asymmetry is why IOSM uses link states, not rails.
+        pdn = PowerDeliveryNetwork()
+        assert pdn.domain("Vccsa").regulator is RegulatorKind.MBVR
+        assert pdn.domain("Vccio").regulator is RegulatorKind.MBVR
+        assert not pdn.domain("Vccio").retention_capable
+
+    def test_domain_of_component(self):
+        pdn = PowerDeliveryNetwork()
+        assert pdn.domain_of("core3").name == "Vcc_core"
+        assert pdn.domain_of("io_phys").name == "Vccio"
+
+    def test_unknown_lookups_raise(self):
+        pdn = PowerDeliveryNetwork()
+        with pytest.raises(KeyError):
+            pdn.domain("Vccxyz")
+        with pytest.raises(KeyError):
+            pdn.domain_of("flux_capacitor")
+
+    def test_fivr_count_matches_skx(self):
+        # 10 per-core FIVRs + 2 CLM FIVRs.
+        assert PowerDeliveryNetwork().fivr_count() == 12
+
+    def test_retention_capable_set(self):
+        names = {d.name for d in PowerDeliveryNetwork().retention_capable_domains()}
+        assert names == {"Vcc_core", "Vccclm0", "Vccclm1"}

@@ -1,0 +1,166 @@
+"""Hypothesis rule-based state-machine tests.
+
+Random legal command sequences against the LTSSM-backed link
+controller and the memory controller, checking protocol invariants
+after every step: power always matches the declared state, status
+wires track the state machine, and no sequence of commands can wedge
+a component.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.dram.controller import MemoryController
+from repro.dram.device import DramDevice
+from repro.dram.timings import DDR4_2666
+from repro.iolink.link import make_link
+from repro.power.budgets import DramPowerSpec, MemoryControllerPowerSpec, PCIE_POWER
+from repro.power.meter import PowerMeter
+from repro.sim.engine import Simulator
+from repro.units import US
+
+
+class LinkMachine(RuleBasedStateMachine):
+    """Random allow/traffic/L1/advance sequences on a PCIe link."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator(seed=99)
+        meter = PowerMeter(self.sim)
+        self.channel = meter.channel("link", "package")
+        self.link = make_link(self.sim, "pcie", 0, self.channel)
+
+    @rule()
+    def allow_l0s(self):
+        self.link.allow_l0s.set(True)
+
+    @rule()
+    def disallow_l0s(self):
+        self.link.allow_l0s.set(False)
+
+    @rule()
+    def traffic(self):
+        if self.link.state in ("L0", "L0s", "L0p", "L1"):
+            self.link.transfer(256)
+
+    @precondition(lambda self: self.link.outstanding == 0
+                  and self.link.state in ("L0", "L0s"))
+    @rule()
+    def command_l1(self):
+        self.link.enter_l1()
+
+    @rule()
+    def advance_small(self):
+        self.sim.run(until_ns=self.sim.now + 40)
+
+    @rule()
+    def advance_large(self):
+        self.sim.run(until_ns=self.sim.now + 20 * US)
+
+    @invariant()
+    def power_matches_state(self):
+        expected = PCIE_POWER.for_state_class(self.link.ltssm.lstate.power_class)
+        assert self.channel.power_w == pytest.approx(expected)
+
+    @invariant()
+    def in_l0s_tracks_state(self):
+        if self.link.state in ("L0", "Polling", "Configuration"):
+            assert not self.link.in_l0s.value
+        if self.link.state == "L1" and self.link.outstanding == 0:
+            # Steady L1 (no wake in flight) asserts InL0s ("or deeper").
+            pending = self.link.ltssm.pending_target
+            if pending is None:
+                assert self.link.in_l0s.value
+
+    @invariant()
+    def outstanding_never_negative(self):
+        assert self.link.outstanding >= 0
+
+
+class MemoryControllerMachine(RuleBasedStateMachine):
+    """Random allow/access/self-refresh sequences on one channel."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator(seed=77)
+        meter = PowerMeter(self.sim)
+        self.mc_channel = meter.channel("mc", "package")
+        device = DramDevice(
+            self.sim, "dram", DramPowerSpec(), meter.channel("dram", "dram")
+        )
+        self.mc = MemoryController(
+            self.sim, "mc", MemoryControllerPowerSpec(), DDR4_2666,
+            self.mc_channel, device,
+        )
+
+    @rule()
+    def allow_cke(self):
+        self.mc.allow_cke_off.set(True)
+
+    @rule()
+    def disallow_cke(self):
+        self.mc.allow_cke_off.set(False)
+
+    @precondition(lambda self: self.mc.state == "active")
+    @rule()
+    def access(self):
+        self.mc.access(4096)
+
+    @precondition(lambda self: self.mc.state == "active"
+                  and self.mc.outstanding == 0)
+    @rule()
+    def self_refresh_cycle(self):
+        self.mc.enter_self_refresh()
+        self.sim.run(until_ns=self.sim.now + 2 * US)
+        if self.mc.state == "self_refresh":
+            self.mc.exit_self_refresh()
+
+    @rule()
+    def advance_small(self):
+        self.sim.run(until_ns=self.sim.now + 15)
+
+    @rule()
+    def advance_large(self):
+        self.sim.run(until_ns=self.sim.now + 20 * US)
+
+    @invariant()
+    def power_matches_steady_state(self):
+        if self.mc.state in ("active", "cke_off", "self_refresh"):
+            expected = MemoryControllerPowerSpec().for_state(self.mc.state)
+            assert self.mc_channel.power_w == pytest.approx(expected)
+
+    @invariant()
+    def device_follows_controller(self):
+        if self.mc.state == "cke_off":
+            assert self.mc.device.mode.value == "cke_off"
+        if self.mc.state == "self_refresh":
+            assert self.mc.device.mode.value == "self_refresh"
+
+    @invariant()
+    def cke_respects_allow_when_settled(self):
+        # Once quiescent, CKE-off may only hold while allowed.
+        if (
+            self.mc.state == "cke_off"
+            and self.mc._transition_event is None
+        ):
+            assert self.mc.allow_cke_off.value
+
+    @invariant()
+    def outstanding_never_negative(self):
+        assert self.mc.outstanding >= 0
+
+
+TestLinkStateMachine = LinkMachine.TestCase
+TestLinkStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestMemoryControllerStateMachine = MemoryControllerMachine.TestCase
+TestMemoryControllerStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,174 @@
+"""Tests for idle-period tracking and the SoCWatch emulation."""
+
+import pytest
+
+from repro.hw.signals import Signal
+from repro.tracing.idle import ActiveAfterIdleSampler, IdlePeriodTracker
+from repro.tracing.socwatch import IDLE_BUCKETS_NS, SocWatchView
+from repro.units import MS, US
+
+
+def make_tracker(sim, initial=False):
+    signal = Signal("all_idle", value=initial)
+    return IdlePeriodTracker(sim, signal), signal
+
+
+class TestIdlePeriodTracker:
+    def test_records_closed_periods(self, sim):
+        tracker, signal = make_tracker(sim)
+        sim.schedule(100, signal.set, True)
+        sim.schedule(400, signal.set, False)
+        sim.run(until_ns=1_000)
+        assert tracker.periods_ns == [300]
+
+    def test_open_period_counted_in_snapshot(self, sim):
+        tracker, signal = make_tracker(sim)
+        sim.schedule(100, signal.set, True)
+        sim.run(until_ns=1_000)
+        assert tracker.periods_ns == []
+        assert tracker.snapshot() == [900]
+
+    def test_idle_fraction(self, sim):
+        tracker, signal = make_tracker(sim)
+        sim.schedule(0, signal.set, True)
+        sim.schedule(500, signal.set, False)
+        sim.run(until_ns=1_000)
+        assert tracker.idle_fraction() == pytest.approx(0.5)
+
+    def test_initially_idle_signal(self, sim):
+        tracker, signal = make_tracker(sim, initial=True)
+        sim.schedule(200, signal.set, False)
+        sim.run(until_ns=1_000)
+        assert tracker.periods_ns == [200]
+
+    def test_reset_clears_and_reopens(self, sim):
+        tracker, signal = make_tracker(sim)
+        sim.schedule(0, signal.set, True)
+        sim.run(until_ns=500)
+        tracker.reset()
+        sim.run(until_ns=1_000)
+        assert tracker.snapshot() == [500]  # only the new window
+        assert tracker.window_ns == 500
+
+    def test_multiple_periods(self, sim):
+        tracker, signal = make_tracker(sim)
+        for start, end in ((10, 30), (50, 90), (100, 200)):
+            sim.schedule(start, signal.set, True)
+            sim.schedule(end, signal.set, False)
+        sim.run(until_ns=1_000)
+        assert tracker.periods_ns == [20, 40, 100]
+
+
+class TestSocWatchView:
+    def test_floor_drops_short_periods(self, sim):
+        tracker, signal = make_tracker(sim)
+        # One 5 us period (below the 10 us floor) and one 50 us period.
+        sim.schedule(0, signal.set, True)
+        sim.schedule(5 * US, signal.set, False)
+        sim.schedule(10 * US, signal.set, True)
+        sim.schedule(60 * US, signal.set, False)
+        sim.run(until_ns=100 * US)
+        view = SocWatchView(tracker)
+        estimate = view.opportunity()
+        assert estimate.periods_total == 2
+        assert estimate.periods_dropped == 1
+        assert estimate.socwatch_fraction < estimate.ground_truth_fraction
+
+    def test_socwatch_underestimates_exactly(self, sim):
+        tracker, signal = make_tracker(sim)
+        sim.schedule(0, signal.set, True)
+        sim.schedule(5 * US, signal.set, False)  # invisible to SoCWatch
+        sim.schedule(10 * US, signal.set, True)
+        sim.schedule(60 * US, signal.set, False)
+        sim.run(until_ns=100 * US)
+        estimate = SocWatchView(tracker).opportunity()
+        assert estimate.ground_truth_fraction == pytest.approx(0.55)
+        assert estimate.socwatch_fraction == pytest.approx(0.50)
+
+    def test_zero_floor_sees_everything(self, sim):
+        tracker, signal = make_tracker(sim)
+        sim.schedule(0, signal.set, True)
+        sim.schedule(5 * US, signal.set, False)
+        sim.run(until_ns=10 * US)
+        view = SocWatchView(tracker, floor_ns=0)
+        estimate = view.opportunity()
+        assert estimate.socwatch_fraction == estimate.ground_truth_fraction
+
+    def test_histogram_buckets(self, sim):
+        tracker, signal = make_tracker(sim)
+        durations = [10 * US, 50 * US, 100 * US, 500 * US, 5 * MS]
+        t = 0
+        for duration in durations:
+            sim.schedule_at(t, signal.set, True)
+            sim.schedule_at(t + duration, signal.set, False)
+            t += duration + 10 * US
+        sim.run(until_ns=t)
+        hist = SocWatchView(tracker).duration_histogram()
+        assert hist["<20us"] == pytest.approx(0.2)
+        assert hist["20us-200us"] == pytest.approx(0.4)
+        assert hist["200us-2ms"] == pytest.approx(0.2)
+        assert hist[">2ms"] == pytest.approx(0.2)
+
+    def test_histogram_fractions_sum_to_one(self, sim):
+        tracker, signal = make_tracker(sim)
+        sim.schedule(0, signal.set, True)
+        sim.schedule(30 * US, signal.set, False)
+        sim.run(until_ns=50 * US)
+        hist = SocWatchView(tracker).duration_histogram()
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+    def test_empty_histogram(self, sim):
+        tracker, _ = make_tracker(sim)
+        hist = SocWatchView(tracker).duration_histogram()
+        assert all(v == 0.0 for v in hist.values())
+
+    def test_buckets_cover_positive_axis(self):
+        edges = [lo for _, lo, _ in IDLE_BUCKETS_NS]
+        assert edges[0] == 0
+        for (_, _, hi), (_, lo, _) in zip(IDLE_BUCKETS_NS, IDLE_BUCKETS_NS[1:]):
+            assert hi == lo
+
+    def test_negative_floor_rejected(self, sim):
+        tracker, _ = make_tracker(sim)
+        with pytest.raises(ValueError):
+            SocWatchView(tracker, floor_ns=-1)
+
+
+class TestActiveAfterIdleSampler:
+    class _FakeCore:
+        def __init__(self, idle):
+            self.in_cc1 = Signal("c", value=idle)
+
+    def test_counts_active_cores_after_idle_end(self, sim):
+        cores = [self._FakeCore(idle=True) for _ in range(4)]
+        all_idle = Signal("all_idle", value=True)
+        sampler = ActiveAfterIdleSampler(sim, all_idle, cores, horizon_ns=10)
+        def end_idle():
+            cores[0].in_cc1.set(False)
+            cores[1].in_cc1.set(False)
+            all_idle.set(False)
+        sim.schedule(100, end_idle)
+        sim.run(until_ns=200)
+        assert sampler.samples == [2]
+        assert sampler.mean_active() == 2.0
+
+    def test_minimum_one_active(self, sim):
+        cores = [self._FakeCore(idle=True) for _ in range(2)]
+        all_idle = Signal("all_idle", value=True)
+        sampler = ActiveAfterIdleSampler(sim, all_idle, cores, horizon_ns=10)
+        # Signal drops but cores re-idle before the sample horizon.
+        sim.schedule(100, all_idle.set, False)
+        sim.run(until_ns=200)
+        assert sampler.samples == [1]
+
+    def test_distribution(self, sim):
+        cores = [self._FakeCore(idle=True) for _ in range(4)]
+        all_idle = Signal("all_idle", value=True)
+        sampler = ActiveAfterIdleSampler(sim, all_idle, cores, horizon_ns=5)
+        sampler.samples.extend([1, 1, 2])  # seed directly
+        assert sampler.distribution() == {1: pytest.approx(2 / 3), 2: pytest.approx(1 / 3)}
+
+    def test_empty_mean_defaults_to_one(self, sim):
+        sampler = ActiveAfterIdleSampler(sim, Signal("x"), [])
+        assert sampler.mean_active() == 1.0
+        assert sampler.distribution() == {}

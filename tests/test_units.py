@@ -1,0 +1,65 @@
+"""Tests for unit conventions and conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_time_constants_are_consistent(self):
+        assert units.US == 1_000 * units.NS
+        assert units.MS == 1_000 * units.US
+        assert units.S == 1_000 * units.MS
+
+    def test_ns_to_s_roundtrip(self):
+        assert units.ns_to_s(units.S) == 1.0
+        assert units.s_to_ns(2.5) == 2_500_000_000
+
+    def test_ns_to_us(self):
+        assert units.ns_to_us(1_500) == 1.5
+
+    def test_ns_to_ms(self):
+        assert units.ns_to_ms(2_500_000) == 2.5
+
+    def test_us_to_ns_rounds(self):
+        assert units.us_to_ns(1.0004) == 1_000
+        assert units.us_to_ns(1.0006) == 1_001
+
+    def test_ms_to_ns(self):
+        assert units.ms_to_ns(0.5) == 500_000
+
+
+class TestEnergyConversions:
+    def test_joules_of_one_watt_second(self):
+        assert units.joules(1.0, units.S) == pytest.approx(1.0)
+
+    def test_joules_scales_with_power(self):
+        assert units.joules(3.0, units.MS) == pytest.approx(0.003)
+
+    def test_watts_inverts_joules(self):
+        energy = units.joules(7.5, 123 * units.US)
+        assert units.watts(energy, 123 * units.US) == pytest.approx(7.5)
+
+    def test_watts_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            units.watts(1.0, 0)
+
+    def test_watts_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            units.watts(1.0, -5)
+
+
+class TestSlewTime:
+    def test_paper_fivr_ramp_is_150ns(self):
+        # 0.8 V -> 0.5 V at 2 mV/ns (paper Sec. 5.5).
+        assert units.slew_time_ns(0.30, 0.002) == 150
+
+    def test_sign_is_ignored(self):
+        assert units.slew_time_ns(-0.30, 0.002) == 150
+
+    def test_zero_delta_is_instant(self):
+        assert units.slew_time_ns(0.0, 0.002) == 0
+
+    def test_rejects_non_positive_slew(self):
+        with pytest.raises(ValueError):
+            units.slew_time_ns(0.3, 0.0)
