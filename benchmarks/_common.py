@@ -4,6 +4,12 @@ Every bench regenerates one table or figure of the paper: it runs the
 relevant experiments, renders a paper-vs-measured report, prints it
 (visible with ``pytest -s``) and saves it under ``results/`` so
 EXPERIMENTS.md can reference the exact artifacts.
+
+Sweep-shaped benches (Figs. 7-9) go through :func:`run_bench_sweep`,
+which fans cells out over :class:`~repro.sweep.SweepRunner` workers
+(``REPRO_SWEEP_WORKERS`` controls the pool; default = core count) and
+shares one in-process result cache across benches, so a cell measured
+for Fig. 7(b) is a cache hit when Fig. 7(c) needs it again.
 """
 
 from __future__ import annotations
@@ -12,10 +18,29 @@ from pathlib import Path
 
 from repro.server.configs import MachineConfig
 from repro.server.experiment import ExperimentResult, run_experiment
-from repro.units import MS
+from repro.sweep import (
+    MemoryStore,
+    SweepResults,
+    SweepSpec,
+    duration_for_rate,
+    run_sweep,
+    warmup_for_duration,
+)
 from repro.workloads.base import Workload
 
+__all__ = [
+    "RESULTS_DIR",
+    "duration_for_rate",
+    "measure",
+    "run_bench_sweep",
+    "save_report",
+]
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: One result cache per pytest session: benches sweeping overlapping
+#: grids (fig7b/fig7c) measure each cell once.
+_SESSION_STORE = MemoryStore()
 
 
 def save_report(name: str, text: str) -> Path:
@@ -27,23 +52,6 @@ def save_report(name: str, text: str) -> Path:
     return path
 
 
-def duration_for_rate(qps: float) -> int:
-    """Measurement window sized to the offered rate.
-
-    Low rates need long windows to observe enough idle periods; high
-    rates need fewer wall-clock seconds for the same request count.
-    """
-    if qps <= 0:
-        return 40 * MS
-    if qps <= 10_000:
-        return 250 * MS
-    if qps <= 50_000:
-        return 150 * MS
-    if qps <= 150_000:
-        return 100 * MS
-    return 60 * MS
-
-
 def measure(
     workload: Workload,
     config: MachineConfig,
@@ -51,11 +59,17 @@ def measure(
     duration_ns: int | None = None,
 ) -> ExperimentResult:
     """Run one experiment with rate-appropriate windows."""
-    duration = duration_ns or duration_for_rate(workload.offered_qps)
+    if duration_ns is None:
+        duration_ns = duration_for_rate(workload.offered_qps)
     return run_experiment(
         workload,
         config,
-        duration_ns=duration,
-        warmup_ns=max(20 * MS, duration // 6),
+        duration_ns=duration_ns,
+        warmup_ns=warmup_for_duration(duration_ns),
         seed=seed,
     )
+
+
+def run_bench_sweep(spec: SweepSpec) -> SweepResults:
+    """Run a bench's sweep grid through the shared session cache."""
+    return run_sweep(spec, store=_SESSION_STORE)

@@ -8,13 +8,11 @@
 
 import pytest
 
-from _common import measure, save_report
+from _common import run_bench_sweep, save_report
 from repro.analysis.perf import estimate_perf_impact
 from repro.analysis.report import PaperComparison, ascii_bars, comparison_table, format_table
 from repro.analysis.savings import savings_between
-from repro.server.configs import cdeep, cpc1a, cshallow
-from repro.workloads.base import NullWorkload
-from repro.workloads.memcached import MemcachedWorkload
+from repro.sweep import SweepSpec, memcached_points
 
 RATES = (4_000, 10_000, 25_000, 50_000, 75_000, 100_000)
 
@@ -23,11 +21,17 @@ PAPER_SAVINGS = {0: 41.0, 4_000: 37.0, 50_000: 14.0}
 
 
 def bench_fig7a_idle_power(benchmark):
+    spec = SweepSpec(
+        workloads=memcached_points([0]),
+        configs=("Cshallow", "Cdeep", "CPC1A"),
+        seeds=(1,),
+    )
     results = {}
 
     def run_all():
-        for config_fn in (cshallow, cdeep, cpc1a):
-            results[config_fn().name] = measure(NullWorkload(), config_fn(), seed=1)
+        sweep = run_bench_sweep(spec)
+        for name in spec.configs:
+            results[name] = sweep.one(config=name)
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
@@ -45,16 +49,18 @@ def bench_fig7a_idle_power(benchmark):
 
 
 def bench_fig7b_power_savings(benchmark):
+    spec = SweepSpec(
+        workloads=memcached_points((0,) + RATES),
+        configs=("Cshallow", "CPC1A"),
+        seeds=(1,),
+    )
     points = []
 
     def sweep():
-        idle_base = measure(NullWorkload(), cshallow(), seed=1)
-        idle_apc = measure(NullWorkload(), cpc1a(), seed=1)
-        points.append((0, savings_between(idle_base, idle_apc)))
-        for qps in RATES:
-            workload = MemcachedWorkload(qps)
-            base = measure(workload, cshallow(), seed=1)
-            apc = measure(workload, cpc1a(), seed=1)
+        results = run_bench_sweep(spec)
+        for qps in (0,) + RATES:
+            base = results.one(config="Cshallow", qps=qps)
+            apc = results.one(config="CPC1A", qps=qps)
             points.append((qps, savings_between(base, apc)))
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -97,13 +103,18 @@ def bench_fig7b_power_savings(benchmark):
 
 
 def bench_fig7c_latency_impact(benchmark):
+    spec = SweepSpec(
+        workloads=memcached_points(RATES),
+        configs=("Cshallow", "CPC1A"),
+        seeds=(1,),
+    )
     rows = []
 
     def sweep():
+        results = run_bench_sweep(spec)
         for qps in RATES:
-            workload = MemcachedWorkload(qps)
-            base = measure(workload, cshallow(), seed=1)
-            apc = measure(workload, cpc1a(), seed=1)
+            base = results.one(config="Cshallow", qps=qps)
+            apc = results.one(config="CPC1A", qps=qps)
             model = estimate_perf_impact(apc, base.latency.mean_us)
             measured_pct = (
                 100.0

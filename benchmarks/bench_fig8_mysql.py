@@ -8,27 +8,32 @@
 
 import pytest
 
-from _common import measure, save_report
+from _common import run_bench_sweep, save_report
 from repro.analysis.report import PaperComparison, comparison_table, format_table
 from repro.analysis.savings import savings_between
-from repro.server.configs import cpc1a, cshallow
+from repro.sweep import SweepSpec, preset_points
 from repro.units import MS
-from repro.workloads.base import NullWorkload
-from repro.workloads.mysql import MySqlWorkload
 
 #: Paper anchors: preset -> (utilization, all-idle residency).
 PAPER_POINTS = {"low": (0.08, 0.37), "high": (0.42, 0.20)}
 DURATION = 300 * MS
+PRESETS = ("low", "mid", "high")
 
 
 def bench_fig8_mysql(benchmark):
+    spec = SweepSpec(
+        workloads=preset_points("mysql", PRESETS),
+        configs=("Cshallow", "CPC1A"),
+        seeds=(2,),
+        duration_ns=DURATION,
+    )
     results = {}
 
     def sweep():
-        for preset in ("low", "mid", "high"):
-            workload = MySqlWorkload(preset)
-            base = measure(workload, cshallow(), seed=2, duration_ns=DURATION)
-            apc = measure(workload, cpc1a(), seed=2, duration_ns=DURATION)
+        measured = run_bench_sweep(spec)
+        for preset in PRESETS:
+            base = measured.one(config="Cshallow", preset=preset)
+            apc = measured.one(config="CPC1A", preset=preset)
             results[preset] = (base, apc, savings_between(base, apc))
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -8,26 +8,32 @@
 
 import pytest
 
-from _common import measure, save_report
+from _common import run_bench_sweep, save_report
 from repro.analysis.report import PaperComparison, comparison_table, format_table
 from repro.analysis.savings import savings_between
-from repro.server.configs import cpc1a, cshallow
+from repro.sweep import SweepSpec, preset_points
 from repro.units import MS
-from repro.workloads.kafka import KafkaWorkload
 
 #: Paper anchors: preset -> (utilization, PC1A residency).
 PAPER_POINTS = {"low": (0.08, 0.47), "high": (0.16, 0.15)}
 DURATION = 300 * MS
+PRESETS = ("low", "high")
 
 
 def bench_fig9_kafka(benchmark):
+    spec = SweepSpec(
+        workloads=preset_points("kafka", PRESETS),
+        configs=("Cshallow", "CPC1A"),
+        seeds=(2,),
+        duration_ns=DURATION,
+    )
     results = {}
 
     def sweep():
-        for preset in ("low", "high"):
-            workload = KafkaWorkload(preset)
-            base = measure(workload, cshallow(), seed=2, duration_ns=DURATION)
-            apc = measure(workload, cpc1a(), seed=2, duration_ns=DURATION)
+        measured = run_bench_sweep(spec)
+        for preset in PRESETS:
+            base = measured.one(config="Cshallow", preset=preset)
+            apc = measured.one(config="CPC1A", preset=preset)
             results[preset] = (base, apc, savings_between(base, apc))
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)

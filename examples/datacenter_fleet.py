@@ -7,34 +7,71 @@ proportionality score — quantifying the introduction's argument that
 agile package C-states attack exactly the 5-20 % utilization band
 where datacenters live.
 
+The measurement grid runs through the sweep-orchestration subsystem
+(:mod:`repro.sweep`): every (config, rate, seed) cell is one
+independent simulation, so the whole fleet characterization fans out
+over a worker pool. ``--wide`` expands the grid to every
+configuration, a dense rate axis and several seeds — hundreds of
+machine-configurations in one parallel run — and reports the score
+spread across seeds.
+
 Run with::
 
-    python examples/datacenter_fleet.py
+    python examples/datacenter_fleet.py [--workers N] [--wide]
 """
 
-from repro import MemcachedWorkload, NullWorkload, cpc1a, cshallow, run_experiment
+import argparse
+
 from repro.analysis import format_table
 from repro.analysis.cluster import FleetModel, PowerCurve, fleet_savings_percent
+from repro.sweep import SweepSpec, WorkloadPoint, run_sweep
 from repro.units import MS
 
 SWEEP_QPS = (10_000, 40_000, 100_000, 300_000, 700_000)
+WIDE_QPS = (4_000, 10_000, 25_000, 40_000, 65_000, 100_000, 180_000,
+            300_000, 450_000, 700_000, 1_000_000)
 N_SERVERS = 10
 
 
-def server_curve(config_fn) -> PowerCurve:
-    results = [run_experiment(NullWorkload(), config_fn(),
-                              duration_ns=30 * MS, warmup_ns=10 * MS, seed=1)]
-    for qps in SWEEP_QPS:
-        results.append(run_experiment(
-            MemcachedWorkload(qps), config_fn(),
-            duration_ns=60 * MS, warmup_ns=15 * MS, seed=1,
-        ))
-    return PowerCurve.from_results(results, label=config_fn().name)
+def curve_points(rates) -> tuple[WorkloadPoint, ...]:
+    """The idle anchor plus one loaded point per rate."""
+    points = [WorkloadPoint("idle", duration_ns=30 * MS, warmup_ns=10 * MS)]
+    points.extend(
+        WorkloadPoint("memcached", qps=float(qps),
+                      duration_ns=60 * MS, warmup_ns=15 * MS)
+        for qps in rates
+    )
+    return tuple(points)
 
 
-def main() -> None:
-    base_curve = server_curve(cshallow)
-    apc_curve = server_curve(cpc1a)
+def curve_for(results, config: str, rates, seed: int) -> PowerCurve:
+    """Assemble one server's power curve from the sweep results."""
+    ordered = [results.one(config=config, workload="idle", seed=seed)]
+    ordered.extend(
+        results.one(config=config, qps=float(qps), seed=seed) for qps in rates
+    )
+    return PowerCurve.from_results(ordered, label=config)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="sweep worker processes (0 = one per core)")
+    parser.add_argument("--wide", action="store_true",
+                        help="all configs x dense rates x 3 seeds")
+    args = parser.parse_args(argv)
+
+    configs = ("Cshallow", "Cdeep", "CPC1A") if args.wide else ("Cshallow", "CPC1A")
+    rates = WIDE_QPS if args.wide else SWEEP_QPS
+    seeds = (1, 2, 3) if args.wide else (1,)
+    spec = SweepSpec(
+        workloads=curve_points(rates), configs=configs, seeds=seeds
+    )
+    results = run_sweep(spec, workers=args.workers or None)
+    print(f"swept {len(spec)} machine-configuration cells in parallel\n")
+
+    base_curve = curve_for(results, "Cshallow", rates, seeds[0])
+    apc_curve = curve_for(results, "CPC1A", rates, seeds[0])
     base_fleet = FleetModel(curve=base_curve, n_servers=N_SERVERS)
     apc_fleet = FleetModel(curve=apc_curve, n_servers=N_SERVERS)
 
@@ -59,6 +96,20 @@ def main() -> None:
     print(f"\nEnergy-proportionality score (1.0 = ideal):"
           f"  Cshallow {base_curve.proportionality_score():.3f}"
           f"  ->  CPC1A {apc_curve.proportionality_score():.3f}")
+
+    if args.wide:
+        print("\nPer-config score across seeds (mean [min, max]):")
+        score_rows = []
+        for config in configs:
+            scores = [
+                curve_for(results, config, rates, seed).proportionality_score()
+                for seed in seeds
+            ]
+            mean = sum(scores) / len(scores)
+            score_rows.append([
+                config, f"{mean:.3f}", f"{min(scores):.3f}", f"{max(scores):.3f}",
+            ])
+        print(format_table(["config", "EP score", "min", "max"], score_rows))
 
 
 if __name__ == "__main__":

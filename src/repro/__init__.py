@@ -46,6 +46,14 @@ from repro.server import (
 )
 from repro.sim import Simulator
 from repro.soc import SKX_CONFIG, SocConfig
+from repro.sweep import (
+    ExperimentSpec,
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    WorkloadPoint,
+    run_sweep,
+)
 from repro.workloads import (
     KafkaWorkload,
     MemcachedWorkload,
@@ -89,4 +97,11 @@ __all__ = [
     "KafkaWorkload",
     "MySqlWorkload",
     "NullWorkload",
+    # sweeps
+    "ExperimentSpec",
+    "ResultStore",
+    "SweepRunner",
+    "SweepSpec",
+    "WorkloadPoint",
+    "run_sweep",
 ]

@@ -8,7 +8,24 @@ Commands
 ``latency``  the PC1A transition-latency decomposition (Sec. 5.5);
 ``area``     the APC area-overhead breakdown (Sec. 5.1-5.3);
 ``export``   sweep a rate range and write the observables as CSV;
+``sweep``    run a workload x config x rate x seed grid in parallel;
 ``validate`` fast end-to-end check of the headline paper anchors.
+
+Sweeps
+------
+``sweep`` is the scale-out entry point: it expands a declarative grid
+(:class:`repro.sweep.SweepSpec`), fans the cells out over a worker
+pool, caches each cell's result under a content-hash key, and writes
+both a per-cell CSV and a per-seed mean/CI summary::
+
+    python -m repro sweep --workload memcached \\
+        --configs Cshallow,CPC1A --rates 0,4000,25000,100000 \\
+        --seeds 1,2,3 --workers 8 --store results/sweep_cache \\
+        --out results/sweep.csv
+
+Re-running with an unchanged grid is free: every cell is a cache hit.
+``export`` remains the figure-oriented single-seed CSV (same engine
+underneath, fixed column set for re-plotting Figs. 6/7).
 """
 
 from __future__ import annotations
@@ -16,6 +33,7 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.report import PaperComparison, comparison_table, format_table
@@ -24,24 +42,35 @@ from repro.core.area import SkxAreaModel
 from repro.core.latency import Pc1aLatencyModel
 from repro.server.configs import CONFIG_BUILDERS, config_by_name
 from repro.server.experiment import ExperimentResult, run_experiment
+from repro.sweep import (
+    ExperimentSpec,
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    WorkloadPoint,
+    default_workers,
+    flatten_result,
+    preset_points,
+)
 from repro.units import MS
-from repro.workloads.base import NullWorkload, Workload
-from repro.workloads.kafka import KafkaWorkload
-from repro.workloads.memcached import MemcachedWorkload
-from repro.workloads.mysql import MySqlWorkload
+from repro.workloads.base import NullWorkload
+from repro.workloads.factory import (
+    PRESET_WORKLOADS,
+    WORKLOAD_NAMES,
+    build_workload,
+)
 
 
-def build_workload(name: str, qps: float, preset: str) -> Workload:
-    """Instantiate a workload from CLI arguments."""
-    if name == "memcached":
-        return MemcachedWorkload(qps)
-    if name == "mysql":
-        return MySqlWorkload(preset)
-    if name == "kafka":
-        return KafkaWorkload(preset)
-    if name == "idle":
-        return NullWorkload()
-    raise KeyError(f"unknown workload {name!r}")
+def _resolve_workers(workers: int) -> int:
+    """--workers -> pool size (0 = one per core; negatives rejected)."""
+    if workers < 0:
+        raise SystemExit("--workers must be >= 0 (0 = one per core)")
+    if workers:
+        return workers
+    try:
+        return default_workers()
+    except ValueError as error:  # bad REPRO_SWEEP_WORKERS override
+        raise SystemExit(str(error)) from None
 
 
 def summarize(result: ExperimentResult) -> str:
@@ -77,7 +106,7 @@ def summarize(result: ExperimentResult) -> str:
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="memcached",
-                        choices=["memcached", "mysql", "kafka", "idle"])
+                        choices=list(WORKLOAD_NAMES))
     parser.add_argument("--qps", type=float, default=20_000,
                         help="offered rate (memcached)")
     parser.add_argument("--preset", default="low",
@@ -173,49 +202,141 @@ EXPORT_COLUMNS = (
 )
 
 
+def _split_configs(value: str) -> tuple[str, ...]:
+    """--configs -> config names (blank entries dropped)."""
+    configs = tuple(name.strip() for name in value.split(",") if name.strip())
+    if not configs:
+        raise SystemExit("--configs must list at least one config")
+    return configs
+
+
+def _rate_points(args: argparse.Namespace) -> tuple[WorkloadPoint, ...]:
+    """--rates -> workload points (rate 0 = the fully idle server)."""
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    if not rates:
+        raise SystemExit("--rates must list at least one rate")
+    return tuple(
+        WorkloadPoint(
+            "idle" if qps == 0 else args.workload, qps=qps, preset=args.preset
+        )
+        for qps in rates
+    )
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     """Sweep offered rates and dump the observables as CSV.
 
     The CSV carries everything needed to re-plot the paper's
-    Memcached figures (6 and 7) with external tooling.
+    Memcached figures (6 and 7) with external tooling. The grid runs
+    through the sweep runner, so ``--workers`` parallelises it and
+    ``--store`` makes re-runs of unchanged cells cache hits.
+
+    Cells are passed to the runner as an explicit list rather than a
+    :class:`SweepSpec`: for preset-driven workloads every listed rate
+    is the same physical experiment, which a spec rejects as a
+    duplicate — here the runner simulates it once and the CSV keeps
+    the historical one-row-per-rate layout.
     """
-    rates = [float(r) for r in args.rates.split(",") if r.strip()]
-    if not rates:
-        raise SystemExit("--rates must list at least one rate")
-    rows = []
-    for config_name in args.configs.split(","):
-        config = config_by_name(config_name.strip())
-        for qps in rates:
-            workload = (
-                NullWorkload() if qps == 0
-                else build_workload(args.workload, qps, args.preset)
-            )
-            result = run_experiment(
-                workload, config,
+    try:
+        points = _rate_points(args)
+        cells = [
+            ExperimentSpec(
+                workload=point.workload,
+                qps=point.qps,
+                preset=point.preset,
+                config=config,
+                seed=args.seed,
                 duration_ns=args.duration_ms * MS,
                 warmup_ns=args.warmup_ms * MS,
-                seed=args.seed,
             )
-            rows.append({
-                "offered_qps": qps,
-                "config": config.name,
-                "utilization": round(result.utilization, 6),
-                "all_idle_fraction": round(result.all_idle_fraction, 6),
-                "pc1a_residency": round(result.pc1a_residency(), 6),
-                "pc6_residency": round(result.pc6_residency(), 6),
-                "package_power_w": round(result.package_power_w, 4),
-                "dram_power_w": round(result.dram_power_w, 4),
-                "total_power_w": round(result.total_power_w, 4),
-                "mean_latency_us": round(result.latency.mean_us, 3),
-                "p99_latency_us": round(result.latency.p99_us, 3),
-                "pc1a_exits": result.pc1a_exits,
-                "requests_completed": result.requests_completed,
-            })
-    with open(args.out, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=EXPORT_COLUMNS)
+            for config in _split_configs(args.configs)
+            for point in points
+        ]
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"invalid export grid: {error}") from None
+    workers = _resolve_workers(args.workers)
+    store = ResultStore(args.store) if args.store else None
+    results = SweepRunner(cells, store=store, workers=workers).run()
+    rows = []
+    for cell, result in zip(results.cells, results.results):
+        row = flatten_result(result)
+        row["offered_qps"] = cell.qps  # preset workloads keep the CLI rate
+        rows.append(row)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=EXPORT_COLUMNS, extrasaction="ignore"
+        )
         writer.writeheader()
         writer.writerows(rows)
     print(f"wrote {len(rows)} rows to {args.out}")
+    if results.cache_hits:
+        # Hits are per unique cell; rows can outnumber them when
+        # several rates label the same physical experiment.
+        unique = len({cell.key() for cell in results.cells})
+        print(f"{results.cache_hits}/{unique} unique cells served from cache")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a full workload x config x rate x seed grid in parallel.
+
+    Writes every cell as a CSV row (seed column included) and prints a
+    per-seed mean/CI summary per grid cell. With ``--store``, cells
+    are cached under content-hash keys: re-running an unchanged grid
+    simulates nothing.
+    """
+    try:
+        if args.workload in PRESET_WORKLOADS:
+            presets = tuple(
+                p.strip() for p in args.presets.split(",") if p.strip()
+            )
+            if not presets:
+                raise SystemExit("--presets must list at least one preset")
+            points = preset_points(args.workload, presets)
+        elif args.workload == "idle":
+            points = (WorkloadPoint("idle"),)
+        else:
+            points = _rate_points(args)
+        seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+        if not seeds:
+            raise SystemExit("--seeds must list at least one seed")
+        spec = SweepSpec(
+            workloads=points,
+            configs=_split_configs(args.configs),
+            seeds=seeds,
+            duration_ns=args.duration_ms * MS if args.duration_ms else None,
+            warmup_ns=args.warmup_ms * MS if args.warmup_ms is not None else None,
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"invalid sweep grid: {error}") from None
+    workers = _resolve_workers(args.workers)
+    store = ResultStore(args.store) if args.store else None
+    results = SweepRunner(spec, store=store, workers=workers).run()
+    count = results.write_csv(args.out)
+    print(
+        f"swept {len(spec)} cells on {workers} worker(s); "
+        f"{results.cache_hits} cache hit(s)"
+    )
+    print(f"wrote {count} rows to {args.out}")
+    rows = [
+        [
+            agg.config,
+            agg.workload_label,
+            f"{agg.offered_qps:g}",
+            f"{agg.n_seeds}",
+            str(agg["total_power_w"]),
+            str(agg["mean_latency_us"]),
+            str(agg["pc1a_residency"]),
+        ]
+        for agg in results.aggregate()
+    ]
+    print(format_table(
+        ["config", "workload", "qps", "seeds",
+         "power (W)", "mean lat (us)", "PC1A res"],
+        rows,
+    ))
     return 0
 
 
@@ -283,7 +404,50 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated offered rates (0 = idle)",
     )
     export_parser.add_argument("--out", default="results/sweep.csv")
+    export_parser.add_argument("--workers", type=int, default=1,
+                               help="worker processes (0 = one per core)")
+    export_parser.add_argument("--store", default=None,
+                               help="result-cache directory (optional)")
     export_parser.set_defaults(fn=cmd_export)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="parallel workload x config x rate x seed grid"
+    )
+    sweep_parser.add_argument("--workload", default="memcached",
+                              choices=list(WORKLOAD_NAMES))
+    sweep_parser.add_argument(
+        "--configs", default="Cshallow,CPC1A",
+        help="comma-separated config names",
+    )
+    sweep_parser.add_argument(
+        "--rates", default="0,4000,10000,25000,50000,100000",
+        help="comma-separated offered rates (memcached; 0 = idle)",
+    )
+    sweep_parser.add_argument(
+        "--presets", default="low,high",
+        help="comma-separated presets (mysql/kafka)",
+    )
+    sweep_parser.add_argument("--preset", default="low",
+                              help=argparse.SUPPRESS)
+    sweep_parser.add_argument(
+        "--seeds", default="1", help="comma-separated seeds; >1 adds CI"
+    )
+    sweep_parser.add_argument(
+        "--duration-ms", type=int, default=0,
+        help="window per cell (0 = size each window to its rate)",
+    )
+    sweep_parser.add_argument(
+        "--warmup-ms", type=int, default=None,
+        help="warmup per cell (default: derived from the window)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = one per core, REPRO_SWEEP_WORKERS)",
+    )
+    sweep_parser.add_argument("--store", default=None,
+                              help="result-cache directory (optional)")
+    sweep_parser.add_argument("--out", default="results/sweep_grid.csv")
+    sweep_parser.set_defaults(fn=cmd_sweep)
 
     validate_parser = sub.add_parser(
         "validate", help="check the headline paper anchors"

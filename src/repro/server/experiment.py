@@ -88,6 +88,19 @@ def run_experiment(
         raise ValueError(f"warmup must be non-negative, got {warmup_ns}")
     if machine is None:
         machine = ServerMachine(config, seed=seed)
+    else:
+        # A prebuilt machine must agree with the labels the result will
+        # carry; silently preferring the machine would mislabel results.
+        if machine.config != config:
+            raise ValueError(
+                f"machine was built for config {machine.config.name!r} "
+                f"but the experiment is labelled {config.name!r}"
+            )
+        if machine.sim.seed != seed:
+            raise ValueError(
+                f"machine was built with seed {machine.sim.seed} "
+                f"but the experiment is labelled seed {seed}"
+            )
     workload.start(machine.sim, machine)
     machine.run_for(warmup_ns)
     machine.begin_measurement()

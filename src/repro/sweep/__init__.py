@@ -1,0 +1,79 @@
+"""Sweep orchestration: declarative grids, parallel runs, caching.
+
+The paper's figures are all workload x config x rate x seed sweeps;
+this package turns "one figure" into data:
+
+>>> from repro.sweep import SweepSpec, memcached_points, run_sweep
+>>> spec = SweepSpec(
+...     workloads=memcached_points([0, 4_000]),
+...     configs=("Cshallow", "CPC1A"),
+...     seeds=(1,),
+... )
+>>> results = run_sweep(spec, workers=1)  # doctest: +SKIP
+
+- :class:`SweepSpec` expands deterministically into
+  :class:`ExperimentSpec` cells (plain, picklable data);
+- :class:`SweepRunner` fans cells out over a multiprocessing pool —
+  each worker builds its own machine, so parallel == serial bit-for-bit;
+- :class:`ResultStore` caches results under content-hash keys, making
+  re-runs of unchanged cells instant;
+- :func:`aggregate_over_seeds` folds per-seed repeats into mean/CI.
+"""
+
+from repro.sweep.aggregate import (
+    AGGREGATED_METRICS,
+    CellAggregate,
+    MetricStats,
+    aggregate_over_seeds,
+)
+from repro.sweep.runner import (
+    SweepResults,
+    SweepRunner,
+    default_workers,
+    run_cell,
+    run_sweep,
+)
+from repro.sweep.spec import (
+    ExperimentSpec,
+    SweepSpec,
+    WorkloadPoint,
+    duration_for_rate,
+    memcached_points,
+    preset_points,
+    warmup_for_duration,
+)
+from repro.sweep.store import (
+    CSV_COLUMNS,
+    MemoryStore,
+    ResultStore,
+    flatten_result,
+    result_from_dict,
+    result_to_dict,
+    write_csv,
+)
+
+__all__ = [
+    "AGGREGATED_METRICS",
+    "CSV_COLUMNS",
+    "CellAggregate",
+    "ExperimentSpec",
+    "MemoryStore",
+    "MetricStats",
+    "ResultStore",
+    "SweepResults",
+    "SweepRunner",
+    "SweepSpec",
+    "WorkloadPoint",
+    "aggregate_over_seeds",
+    "default_workers",
+    "duration_for_rate",
+    "flatten_result",
+    "memcached_points",
+    "preset_points",
+    "result_from_dict",
+    "result_to_dict",
+    "run_cell",
+    "run_sweep",
+    "warmup_for_duration",
+    "write_csv",
+]

@@ -1,0 +1,209 @@
+"""Parallel execution of sweep grids.
+
+Experiments are embarrassingly parallel: every cell builds its own
+:class:`ServerMachine` from plain data, so the runner can fan cells
+out over a ``multiprocessing`` pool with no shared state. Determinism
+is preserved by construction — a cell's result depends only on its
+:class:`ExperimentSpec`, never on scheduling — so parallel runs are
+bit-identical to serial ones and safe to mix with cache hits.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from typing import Callable, Iterable, Sequence
+
+from repro.server.experiment import ExperimentResult, run_experiment
+from repro.sweep.aggregate import CellAggregate, aggregate_over_seeds
+from repro.sweep.spec import ExperimentSpec, SweepSpec
+from repro.sweep.store import write_csv
+
+
+def default_workers() -> int:
+    """Worker count honouring the ``REPRO_SWEEP_WORKERS`` override.
+
+    Like the CLI's ``--workers``, a value of 0 (or unset) means one
+    worker per core.
+    """
+    override = os.environ.get("REPRO_SWEEP_WORKERS")
+    if override:
+        try:
+            count = int(override)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SWEEP_WORKERS must be an integer, got {override!r}"
+            ) from None
+        if count < 0:
+            raise ValueError(
+                f"REPRO_SWEEP_WORKERS must be >= 0, got {count}"
+            )
+        if count > 0:
+            return count
+    return max(1, os.cpu_count() or 1)
+
+
+def run_cell(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one sweep cell from scratch (fresh machine + workload)."""
+    return run_experiment(
+        spec.build_workload(),
+        spec.build_config(),
+        duration_ns=spec.duration_ns,
+        warmup_ns=spec.warmup_ns,
+        seed=spec.seed,
+    )
+
+
+def _run_cell_keyed(spec: ExperimentSpec) -> tuple[str, ExperimentResult]:
+    """Worker entry point: pair the result with its cache key."""
+    return spec.key(), run_cell(spec)
+
+
+class SweepResults:
+    """Ordered results of one sweep run, with cell-wise lookup."""
+
+    def __init__(
+        self,
+        cells: Sequence[ExperimentSpec],
+        results: Sequence[ExperimentResult],
+        cache_hits: int = 0,
+    ):
+        self.cells = list(cells)
+        self.results = list(results)
+        self.cache_hits = cache_hits
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def select(self, **criteria) -> list[ExperimentResult]:
+        """Results whose cell matches every criterion.
+
+        Criteria name :class:`ExperimentSpec` fields, e.g.
+        ``select(config="CPC1A", qps=4000)``.
+        """
+        fields = ExperimentSpec.__dataclass_fields__
+        unknown = [name for name in criteria if name not in fields]
+        if unknown:
+            raise TypeError(
+                f"unknown selection criteria {unknown}; "
+                f"cells have {sorted(fields)}"
+            )
+        matches = []
+        for cell, result in zip(self.cells, self.results):
+            if all(getattr(cell, name) == value for name, value in criteria.items()):
+                matches.append(result)
+        return matches
+
+    def one(self, **criteria) -> ExperimentResult:
+        """The unique result matching the criteria (raises otherwise)."""
+        matches = self.select(**criteria)
+        if len(matches) != 1:
+            raise LookupError(
+                f"expected exactly one cell matching {criteria}, "
+                f"found {len(matches)}"
+            )
+        return matches[0]
+
+    def aggregate(self) -> list[CellAggregate]:
+        """Per-seed aggregation (mean/CI) of every grid cell."""
+        return aggregate_over_seeds(self.results, cells=self.cells)
+
+    def write_csv(self, path, columns: tuple[str, ...] | None = None) -> int:
+        """Write every cell as a CSV row (spec labels included)."""
+        return write_csv(path, self.results, columns=columns, cells=self.cells)
+
+
+class SweepRunner:
+    """Executes a :class:`SweepSpec` with caching and a worker pool.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run, or an explicit cell list.
+    store:
+        Optional :class:`ResultStore`/:class:`MemoryStore`; cells whose
+        key is present are returned from the cache without simulating.
+    workers:
+        Pool size. 1 (the default) runs serially in-process; results
+        are identical either way.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec | Sequence[ExperimentSpec],
+        store=None,
+        workers: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cells = spec.cells() if isinstance(spec, SweepSpec) else list(spec)
+        self.store = store
+        self.workers = workers
+
+    def run(self, progress: Callable[[str], None] | None = None) -> SweepResults:
+        """Run every cell; returns results in deterministic cell order."""
+        by_key: dict[str, ExperimentResult] = {}
+        pending_by_key: dict[str, ExperimentSpec] = {}
+        cache_hits = 0
+        for cell in self.cells:
+            key = cell.key()
+            if key in by_key or key in pending_by_key:
+                continue  # duplicate cell in the grid
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                by_key[key] = cached
+                cache_hits += 1
+            else:
+                pending_by_key[key] = cell
+        pending = list(pending_by_key.values())
+        for key, result in self._execute(pending, progress):
+            by_key[key] = result
+            if self.store is not None:
+                self.store.put(key, result, spec=pending_by_key[key])
+        ordered = [by_key[cell.key()] for cell in self.cells]
+        return SweepResults(self.cells, ordered, cache_hits=cache_hits)
+
+    def _execute(
+        self,
+        pending: Sequence[ExperimentSpec],
+        progress: Callable[[str], None] | None,
+    ) -> Iterable[tuple[str, ExperimentResult]]:
+        if not pending:
+            return
+        workers = min(self.workers, len(pending))
+        if workers == 1:
+            for cell in pending:
+                if progress is not None:
+                    progress(cell.label())
+                yield _run_cell_keyed(cell)
+            return
+        # fork is cheapest and safe on Linux; elsewhere (macOS lists
+        # fork as available but it is unsafe with threaded BLAS) use
+        # spawn, the platform default.
+        ctx = multiprocessing.get_context(
+            "fork" if sys.platform.startswith("linux") else "spawn"
+        )
+        with ctx.Pool(processes=workers) as pool:
+            for index, (key, result) in enumerate(
+                pool.imap(_run_cell_keyed, pending)
+            ):
+                if progress is not None:
+                    progress(pending[index].label())
+                yield key, result
+
+
+def run_sweep(
+    spec: SweepSpec | Sequence[ExperimentSpec],
+    store=None,
+    workers: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResults:
+    """One-call convenience: build a runner and run the grid."""
+    runner = SweepRunner(
+        spec, store=store, workers=default_workers() if workers is None else workers
+    )
+    return runner.run(progress=progress)

@@ -1,0 +1,292 @@
+"""Declarative sweep grids: workloads x configs x rates x seeds.
+
+The paper's headline results (Figs. 5-9) are all sweeps, so the
+orchestration layer treats "one figure" as a :class:`SweepSpec` — a
+grid that expands deterministically into :class:`ExperimentSpec`
+cells. A cell is plain data: it names its workload, configuration and
+seed instead of holding live objects, which makes it picklable for
+worker processes, hashable for the result cache, and storable next to
+the result it produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.server.configs import CONFIG_BUILDERS, MachineConfig, config_by_name
+from repro.units import MS
+from repro.workloads.base import Workload
+from repro.workloads.factory import (
+    PRESET_WORKLOADS,
+    WORKLOAD_NAMES,
+    build_workload,
+)
+
+#: Bump when the cell schema or measurement semantics change, so stale
+#: cache entries from an incompatible layout can never be returned.
+SCHEMA_VERSION = 1
+
+
+def duration_for_rate(qps: float) -> int:
+    """Measurement window sized to the offered rate.
+
+    Low rates need long windows to observe enough idle periods; high
+    rates need fewer wall-clock seconds for the same request count.
+    """
+    if qps <= 0:
+        return 40 * MS
+    if qps <= 10_000:
+        return 250 * MS
+    if qps <= 50_000:
+        return 150 * MS
+    if qps <= 150_000:
+        return 100 * MS
+    return 60 * MS
+
+
+def warmup_for_duration(duration_ns: int) -> int:
+    """Default warmup: long enough for queues and governors to settle."""
+    return max(20 * MS, duration_ns // 6)
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """One workload operating point of a sweep grid.
+
+    ``duration_ns``/``warmup_ns`` override the spec-level window for
+    this point only (e.g. the idle point of a power curve can use a
+    short window while loaded points keep rate-sized ones).
+    """
+
+    workload: str
+    qps: float = 0.0
+    preset: str = "low"
+    duration_ns: int | None = None
+    warmup_ns: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOAD_NAMES:
+            raise KeyError(
+                f"unknown workload {self.workload!r}; have {WORKLOAD_NAMES}"
+            )
+        if self.qps < 0:
+            raise ValueError(f"offered QPS cannot be negative: {self.qps}")
+        if self.workload in PRESET_WORKLOADS:
+            # Fail at construction, not inside a worker pool: building
+            # the workload is cheap and validates the preset name.
+            build_workload(self.workload, self.qps, self.preset)
+        # Canonical numeric type: int and float spellings of one rate
+        # must compare, hash and cache identically.
+        object.__setattr__(self, "qps", float(self.qps))
+
+    def build(self) -> Workload:
+        """Instantiate this point's workload."""
+        return build_workload(self.workload, self.qps, self.preset)
+
+    def label(self) -> str:
+        """Short human label for tables and progress lines."""
+        if self.workload == "idle" or self.qps == 0 and self.workload == "memcached":
+            return "idle"
+        if self.workload == "memcached":
+            return f"memcached@{self.qps:g}"
+        return f"{self.workload}:{self.preset}"
+
+
+def memcached_points(rates: tuple[float, ...] | list[float]) -> tuple[WorkloadPoint, ...]:
+    """Rate list -> memcached points (rate 0 = the fully idle server)."""
+    return tuple(WorkloadPoint("memcached", qps=float(r)) for r in rates)
+
+
+def preset_points(workload: str, presets: tuple[str, ...] | list[str]) -> tuple[WorkloadPoint, ...]:
+    """Preset list -> mysql/kafka points."""
+    return tuple(WorkloadPoint(workload, preset=p) for p in presets)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-determined sweep cell (a single ``run_experiment``).
+
+    Every field is plain data, so a cell round-trips through JSON and
+    pickle; :meth:`key` derives the content hash under which the cell's
+    result is cached.
+    """
+
+    workload: str
+    qps: float
+    preset: str
+    config: str
+    seed: int
+    duration_ns: int
+    warmup_ns: int
+
+    def __post_init__(self) -> None:
+        if self.config not in CONFIG_BUILDERS:
+            raise KeyError(
+                f"unknown config {self.config!r}; have {sorted(CONFIG_BUILDERS)}"
+            )
+        if self.workload not in WORKLOAD_NAMES:
+            raise KeyError(
+                f"unknown workload {self.workload!r}; have {WORKLOAD_NAMES}"
+            )
+        if self.duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_ns}")
+        if self.warmup_ns < 0:
+            raise ValueError(f"warmup must be non-negative, got {self.warmup_ns}")
+        # Same canonicalization as WorkloadPoint: the cache key hashes
+        # a JSON rendering, so 40000 and 40000.0 must not differ.
+        object.__setattr__(self, "qps", float(self.qps))
+
+    # -- construction ------------------------------------------------------
+    def build_workload(self) -> Workload:
+        """Instantiate the cell's workload."""
+        return build_workload(self.workload, self.qps, self.preset)
+
+    def build_config(self) -> MachineConfig:
+        """Instantiate the cell's machine configuration."""
+        return config_by_name(self.config)
+
+    @property
+    def preset_label(self) -> str:
+        """The preset, when it selects this cell's operating point.
+
+        Rate-driven workloads carry the field's default value, which
+        would mislabel CSV rows; report it only where it matters.
+        """
+        return self.preset if self.workload in PRESET_WORKLOADS else ""
+
+    # -- identity ----------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Plain-data form (JSON- and pickle-friendly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**data)
+
+    def key(self) -> str:
+        """Content hash identifying this cell in a result store.
+
+        The hash covers the *canonical* cell, so different spellings
+        of the same physical experiment share a cache entry: rate 0
+        is the idle server however the workload is named, the preset
+        only counts for preset-driven workloads, and the rate only
+        counts for rate-driven ones.
+        """
+        workload = self.workload
+        qps = self.qps
+        if workload == "memcached" and qps == 0:
+            workload = "idle"
+        if workload in PRESET_WORKLOADS or workload == "idle":
+            qps = 0.0  # build_workload ignores the rate here
+        preset = self.preset if workload in PRESET_WORKLOADS else ""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "workload": workload,
+            "qps": qps,
+            "preset": preset,
+            "config": self.config,
+            "seed": self.seed,
+            "duration_ns": self.duration_ns,
+            "warmup_ns": self.warmup_ns,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+    def label(self) -> str:
+        """Short human label for logs and progress lines."""
+        point = WorkloadPoint(self.workload, self.qps, self.preset)
+        return f"{self.config}/{point.label()}/seed{self.seed}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative experiment grid.
+
+    Expansion order is deterministic: configs (outermost) x workload
+    points x seeds (innermost), matching the CSV layout the ``export``
+    command has always produced.
+    """
+
+    workloads: tuple[WorkloadPoint, ...]
+    configs: tuple[str, ...]
+    seeds: tuple[int, ...] = (0,)
+    #: Spec-level window; None sizes each cell's window to its rate.
+    duration_ns: int | None = None
+    #: Spec-level warmup; None applies :func:`warmup_for_duration`.
+    warmup_ns: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("a sweep needs at least one workload point")
+        if not self.configs:
+            raise ValueError("a sweep needs at least one config")
+        if not self.seeds:
+            raise ValueError("a sweep needs at least one seed")
+        for name in self.configs:
+            if name not in CONFIG_BUILDERS:
+                raise KeyError(
+                    f"unknown config {name!r}; have {sorted(CONFIG_BUILDERS)}"
+                )
+        # Repeats would double-weight cells in the per-seed means and
+        # understate the confidence intervals.
+        for label, values in (("seeds", self.seeds), ("configs", self.configs),
+                              ("workload points", self.workloads)):
+            if len(set(values)) != len(values):
+                raise ValueError(f"duplicate {label} in sweep: {values}")
+        if self.duration_ns is not None and self.duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_ns}")
+        # Distinct spellings of one physical cell (idle vs memcached@0,
+        # preset points differing only in the ignored rate) share a
+        # canonical key; they would double-weight aggregates too.
+        keys = [cell.key() for cell in self.cells()]
+        if len(set(keys)) != len(keys):
+            raise ValueError(
+                "sweep contains equivalent spellings of the same experiment "
+                "(e.g. WorkloadPoint('idle') and WorkloadPoint('memcached', qps=0))"
+            )
+
+    def _window(self, point: WorkloadPoint) -> tuple[int, int]:
+        """Resolve (duration, warmup) for one point."""
+        duration = point.duration_ns
+        if duration is None:
+            duration = self.duration_ns
+        if duration is None:
+            duration = duration_for_rate(point.build().offered_qps)
+        warmup = point.warmup_ns
+        if warmup is None:
+            warmup = self.warmup_ns
+        if warmup is None:
+            warmup = warmup_for_duration(duration)
+        return duration, warmup
+
+    def cells(self) -> list[ExperimentSpec]:
+        """Expand the grid into its experiment cells.
+
+        The expansion is cached (the spec is frozen), so validation
+        in ``__post_init__`` and the runner share one pass.
+        """
+        cached = getattr(self, "_expanded", None)
+        if cached is None:
+            # Windows are config-independent; resolve once per point.
+            windows = [self._window(point) for point in self.workloads]
+            cached = []
+            for config in self.configs:
+                for point, (duration, warmup) in zip(self.workloads, windows):
+                    for seed in self.seeds:
+                        cached.append(ExperimentSpec(
+                            workload=point.workload,
+                            qps=point.qps,
+                            preset=point.preset,
+                            config=config,
+                            seed=seed,
+                            duration_ns=duration,
+                            warmup_ns=warmup,
+                        ))
+            object.__setattr__(self, "_expanded", cached)
+        return list(cached)
+
+    def __len__(self) -> int:
+        return len(self.configs) * len(self.workloads) * len(self.seeds)

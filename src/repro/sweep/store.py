@@ -1,0 +1,213 @@
+"""Content-addressed persistence for experiment results.
+
+A :class:`ResultStore` keys :class:`ExperimentResult` records by their
+cell's content hash (:meth:`ExperimentSpec.key`), so re-running an
+unchanged sweep cell is a cache hit instead of a simulation. Records
+are single JSON files — human-inspectable, diff-able, and safe to
+commit next to the figures they produced. A :class:`MemoryStore`
+offers the same interface without touching disk (used to share
+measurements between benches inside one pytest session).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable
+
+from repro.server.experiment import ExperimentResult
+from repro.server.stats import LatencySummary
+from repro.sweep.spec import ExperimentSpec
+from repro.tracing.socwatch import OpportunityEstimate
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Plain-data form of a result (exact float round-trip via JSON)."""
+    return asdict(result)
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`.
+
+    JSON stringifies the integer keys of the active-after-idle
+    histogram; restore them so round-tripped results compare equal to
+    freshly measured ones.
+    """
+    data = dict(data)
+    data["latency"] = LatencySummary(**data["latency"])
+    data["socwatch"] = OpportunityEstimate(**data["socwatch"])
+    data["active_after_idle_dist"] = {
+        int(n): frac for n, frac in data["active_after_idle_dist"].items()
+    }
+    return ExperimentResult(**data)
+
+
+#: Column order of :func:`flatten_result` / :func:`write_csv`.
+CSV_COLUMNS = (
+    "offered_qps",
+    "config",
+    "workload",
+    "preset",
+    "seed",
+    "utilization",
+    "all_idle_fraction",
+    "pc1a_residency",
+    "pc6_residency",
+    "package_power_w",
+    "dram_power_w",
+    "total_power_w",
+    "mean_latency_us",
+    "p99_latency_us",
+    "pc1a_exits",
+    "requests_completed",
+)
+
+
+def flatten_result(
+    result: ExperimentResult, spec: ExperimentSpec | None = None
+) -> dict:
+    """One flat CSV row of the observables the paper's figures need.
+
+    The preset is a spec-side label (results only know the workload
+    name), so pass the cell ``spec`` to fill that column.
+    """
+    return {
+        "offered_qps": result.offered_qps,
+        "config": result.config_name,
+        "workload": result.workload_name,
+        "preset": spec.preset_label if spec is not None else "",
+        "seed": result.seed,
+        "utilization": round(result.utilization, 6),
+        "all_idle_fraction": round(result.all_idle_fraction, 6),
+        "pc1a_residency": round(result.pc1a_residency(), 6),
+        "pc6_residency": round(result.pc6_residency(), 6),
+        "package_power_w": round(result.package_power_w, 4),
+        "dram_power_w": round(result.dram_power_w, 4),
+        "total_power_w": round(result.total_power_w, 4),
+        "mean_latency_us": round(result.latency.mean_us, 3),
+        "p99_latency_us": round(result.latency.p99_us, 3),
+        "pc1a_exits": result.pc1a_exits,
+        "requests_completed": result.requests_completed,
+    }
+
+
+def write_csv(
+    path: str | Path,
+    results: Iterable[ExperimentResult],
+    columns: tuple[str, ...] | None = None,
+    cells: Iterable[ExperimentSpec] | None = None,
+) -> int:
+    """Write results as CSV; returns the row count.
+
+    ``columns`` restricts/orders the columns (default: everything
+    :func:`flatten_result` produces); ``cells`` supplies the aligned
+    specs so spec-side labels (the preset) reach the rows.
+    """
+    results = list(results)
+    if cells is not None:
+        cells = list(cells)
+        if len(cells) != len(results):
+            raise ValueError(f"{len(results)} results but {len(cells)} cells")
+        rows = [
+            flatten_result(result, spec=cell)
+            for result, cell in zip(results, cells)
+        ]
+    else:
+        rows = [flatten_result(result) for result in results]
+    if columns is None:
+        columns = CSV_COLUMNS
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+class MemoryStore:
+    """In-process result cache with the :class:`ResultStore` interface."""
+
+    def __init__(self) -> None:
+        self._results: dict[str, ExperimentResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> ExperimentResult | None:
+        """Cached result for ``key``, or None."""
+        result = self._results.get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: ExperimentResult,
+            spec: ExperimentSpec | None = None) -> None:
+        """Cache ``result`` under ``key``."""
+        self._results[key] = result
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+class ResultStore:
+    """Directory of ``<cell-key>.json`` experiment records.
+
+    Each record carries the cell spec alongside the result, so a store
+    is self-describing: a record can be audited (which exact grid cell
+    produced this number?) or re-keyed by future schema migrations.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> ExperimentResult | None:
+        """Load the cached result for ``key``, or None on a miss.
+
+        An unreadable or corrupt record (e.g. a crashed writer) is
+        treated as a miss — the cell is simply re-simulated and the
+        record rewritten.
+        """
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+            result = result_from_dict(record["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: ExperimentResult,
+            spec: ExperimentSpec | None = None) -> None:
+        """Persist ``result`` under ``key`` (atomic via rename)."""
+        record = {
+            "key": key,
+            "spec": spec.as_dict() if spec is not None else None,
+            "result": result_to_dict(result),
+        }
+        path = self._path(key)
+        # Unique tmp name so concurrent sweeps sharing a store never
+        # interleave writes; the rename is atomic either way.
+        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(record, indent=1, sort_keys=True))
+        tmp.replace(path)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.hw.signals import Signal
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.units import US
 
 
@@ -80,18 +80,29 @@ class ActiveAfterIdleSampler:
         self.cores = cores
         self.horizon_ns = horizon_ns
         self.samples: list[int] = []
+        self._pending: list[Event] = []
         all_idle.watch(self._on_change)
 
     def _on_change(self, signal: Signal, old: bool, new: bool) -> None:
         if not new:
-            self.sim.schedule(self.horizon_ns, self._sample)
+            self._pending = [event for event in self._pending if event.pending]
+            self._pending.append(self.sim.schedule(self.horizon_ns, self._sample))
 
     def _sample(self) -> None:
         active = sum(1 for core in self.cores if not core.in_cc1.value)
         self.samples.append(max(1, active))
 
     def reset(self) -> None:
-        """Start a fresh measurement window."""
+        """Start a fresh measurement window.
+
+        Samples scheduled before the window (an idle exit during
+        warmup whose horizon has not elapsed yet) are cancelled —
+        otherwise they fire into the new window and bias the
+        distribution the PC1A performance model consumes.
+        """
+        for event in self._pending:
+            event.cancel()
+        self._pending.clear()
         self.samples.clear()
 
     def mean_active(self) -> float:

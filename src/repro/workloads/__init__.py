@@ -30,8 +30,11 @@ from repro.workloads.kafka import KafkaWorkload
 from repro.workloads.mysql import MySqlWorkload, MYSQL_PRESETS
 from repro.workloads.kafka import KAFKA_PRESETS
 from repro.workloads.upi_traffic import CompositeWorkload, UpiSnoopTraffic
+from repro.workloads.factory import WORKLOAD_NAMES, build_workload
 
 __all__ = [
+    "build_workload",
+    "WORKLOAD_NAMES",
     "Request",
     "Workload",
     "NullWorkload",

@@ -1,0 +1,43 @@
+"""Build workloads from plain serializable descriptors.
+
+The sweep subsystem fans experiments out over worker processes, so a
+sweep cell must describe its workload with plain data (name + rate +
+preset) rather than a live object. This factory is the single place
+that mapping lives; the CLI reuses it so ``python -m repro run`` and a
+sweep cell with the same arguments build byte-identical workloads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import NullWorkload, Workload
+from repro.workloads.kafka import KafkaWorkload
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.mysql import MySqlWorkload
+
+#: Workload names accepted by :func:`build_workload` (and the CLI).
+WORKLOAD_NAMES = ("memcached", "mysql", "kafka", "idle")
+
+#: Workloads whose operating point is chosen by ``preset`` rather
+#: than an offered rate (drives CLI branching and sweep labelling).
+PRESET_WORKLOADS = ("mysql", "kafka")
+
+
+def build_workload(name: str, qps: float = 0.0, preset: str = "low") -> Workload:
+    """Instantiate a workload from its serializable description.
+
+    ``qps`` selects the offered rate for rate-driven workloads
+    (memcached); ``preset`` selects the operating point for the
+    preset-driven ones (mysql/kafka). A memcached rate of 0 is the
+    fully idle server.
+    """
+    if name == "memcached":
+        if qps == 0:
+            return NullWorkload()
+        return MemcachedWorkload(qps)
+    if name == "mysql":
+        return MySqlWorkload(preset)
+    if name == "kafka":
+        return KafkaWorkload(preset)
+    if name == "idle":
+        return NullWorkload()
+    raise KeyError(f"unknown workload {name!r}; have {WORKLOAD_NAMES}")

@@ -78,7 +78,7 @@ class TestExperimentResultViews:
 
         machine = ServerMachine(cpc1a(), seed=8)
         first = run_experiment(NullWorkload(), cpc1a(), duration_ns=5 * MS,
-                               warmup_ns=1 * MS, machine=machine)
+                               warmup_ns=1 * MS, seed=8, machine=machine)
         # The same machine can be measured again for a second window.
         machine.begin_measurement()
         machine.run_for(5 * MS)
