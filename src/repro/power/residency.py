@@ -27,19 +27,30 @@ class ResidencyCounter:
         self._window_start = sim.now
 
     def enter(self, state: str) -> None:
-        """Switch to ``state`` now; a no-op when already in it."""
-        if state == self.state:
+        """Switch to ``state`` now; a no-op when already in it.
+
+        Accounting is deferred: elapsed time is attributed only when
+        the clock actually advanced, so repeated transitions at one
+        timestamp (package entry/exit cascades) batch into plain label
+        updates with no bookkeeping work.
+        """
+        old = self.state
+        if state == old:
             return
-        self.sync()
-        self._transitions[(self.state, state)] += 1
+        now = self.sim._now
+        since = self._since
+        if now > since:
+            self._residency_ns[old] += now - since
+            self._since = now
+        self._transitions[(old, state)] += 1
         self.state = state
 
     def sync(self) -> None:
         """Attribute elapsed time to the current state."""
-        now = self.sim.now
+        now = self.sim._now
         if now > self._since:
             self._residency_ns[self.state] += now - self._since
-        self._since = now
+            self._since = now
 
     def residency_ns(self, state: str) -> int:
         """Time spent in ``state`` during the current window."""

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.server.configs import MachineConfig
 from repro.server.machine import ServerMachine
-from repro.server.stats import LatencySummary
+from repro.server.stats import LatencySummary, MachineStats
 from repro.tracing.socwatch import OpportunityEstimate
 from repro.units import MS, ns_to_s
 from repro.workloads.base import Workload
@@ -52,6 +52,11 @@ class ExperimentResult:
     core_wakes: int = 0
     active_after_idle_mean: float = 1.0
     active_after_idle_dist: dict[int, float] = field(default_factory=dict)
+    # Simulator health (kernel counters at collection time; None for
+    # results persisted before the counters existed). Diagnostics, not
+    # an observable: excluded from result equality so windows measured
+    # after different warmups still compare equal.
+    kernel: MachineStats | None = field(default=None, compare=False)
 
     @property
     def total_power_w(self) -> float:
@@ -117,6 +122,11 @@ def collect_result(
     """Assemble an :class:`ExperimentResult` from a measured machine."""
     duration_s = ns_to_s(duration_ns)
     apmu, gpmu = machine.apmu, machine.gpmu
+    # One pass over all power channels instead of a filter-and-sum per
+    # domain; accumulation order matches per-domain energy_j() exactly.
+    power = machine.meter.readout()
+    package_energy_j = power["package"].energy_j if "package" in power else 0.0
+    dram_energy_j = power["dram"].energy_j if "dram" in power else 0.0
     return ExperimentResult(
         config_name=machine.config.name,
         workload_name=workload.name,
@@ -125,8 +135,8 @@ def collect_result(
         offered_qps=workload.offered_qps,
         requests_completed=machine.requests_completed,
         achieved_qps=machine.requests_completed / duration_s,
-        package_power_w=machine.meter.energy_j("package") / duration_s,
-        dram_power_w=machine.meter.energy_j("dram") / duration_s,
+        package_power_w=package_energy_j / duration_s,
+        dram_power_w=dram_energy_j / duration_s,
         core_residency=machine.core_residency(),
         package_residency=machine.package.residency.fractions(),
         utilization=machine.utilization(),
@@ -143,4 +153,5 @@ def collect_result(
         core_wakes=sum(core.wake_count for core in machine.cores),
         active_after_idle_mean=machine.active_sampler.mean_active(),
         active_after_idle_dist=machine.active_sampler.distribution(),
+        kernel=machine.stats(),
     )

@@ -24,7 +24,7 @@ from repro.power.rapl import RaplInterface
 from repro.server.configs import MachineConfig
 from repro.server.dispatch import Dispatcher
 from repro.server.nic import Nic
-from repro.server.stats import LatencyRecorder
+from repro.server.stats import LatencyRecorder, MachineStats
 from repro.server.ticks import OsTimerTicks
 from repro.sim.engine import Simulator
 from repro.soc.clm import ClmDomain
@@ -209,6 +209,10 @@ class ServerMachine:
             self.gpmu.pc6_exits = 0
 
     # -- aggregate views -----------------------------------------------------
+    def stats(self) -> MachineStats:
+        """Snapshot of the event-kernel counters (simulator health)."""
+        return MachineStats.from_simulator(self.sim)
+
     def core_residency(self) -> dict[str, float]:
         """Average core C-state residency fractions across all cores."""
         totals: dict[str, float] = {}

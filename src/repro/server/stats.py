@@ -1,17 +1,60 @@
-"""Request latency accounting.
+"""Request latency and simulation-kernel accounting.
 
 End-to-end latency in the paper (Fig. 5/7(c)) is server-side latency
 plus ~117 µs of network time. The recorder keeps exact server-side
 samples; summaries fold the configured network latency in.
+
+:class:`MachineStats` is the kernel-observability companion: one
+frozen snapshot of the event-kernel counters (heap size, cancelled
+ratio, event reuse) for a machine, surfaced through
+``ServerMachine.stats()`` and ``ExperimentResult.kernel`` so sweep
+results and benchmark trajectories can track simulator health and
+speed across PRs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.units import ns_to_us
+
+
+@dataclass(frozen=True)
+class MachineStats:
+    """Event-kernel counters of one machine's simulator.
+
+    See ``Simulator.kernel_stats`` for field semantics; the throughput
+    helpers derive events/sec when paired with wall-clock timings.
+    """
+
+    events_processed: int
+    events_scheduled: int
+    events_reused: int
+    events_cancelled: int
+    heap_size: int
+    peak_heap_size: int
+    cancelled_in_heap: int
+    cancelled_ratio: float
+    heap_compactions: int
+    sim_time_ns: int
+
+    @classmethod
+    def from_simulator(cls, sim) -> "MachineStats":
+        """Snapshot a simulator's kernel counters."""
+        return cls(**sim.kernel_stats())
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of armed events that recycled an existing object."""
+        if self.events_scheduled == 0:
+            return 0.0
+        return self.events_reused / self.events_scheduled
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Flat mapping for table printers and JSON reports."""
+        return asdict(self)
 
 
 @dataclass(frozen=True)

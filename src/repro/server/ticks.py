@@ -15,7 +15,7 @@ cores, so idle cores — and hence the package — sleep through.
 
 from __future__ import annotations
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.timers import PeriodicTimer
 from repro.soc.cpu import Core, Job
 from repro.units import S, US
@@ -49,21 +49,40 @@ class OsTimerTicks:
         self.ticks_delivered = 0
         self.ticks_suppressed = 0
         self._timers: list[PeriodicTimer] = []
+        self._arm_events: list[Event] = []
+
+    @property
+    def started(self) -> bool:
+        """True while the per-core tick timers are armed."""
+        return bool(self._timers)
 
     def start(self) -> None:
-        """Arm one staggered timer per core (like real per-CPU ticks)."""
+        """Arm one staggered timer per core (like real per-CPU ticks).
+
+        Starting an already started instance raises: a second set of
+        per-core timers would silently double ``ticks_delivered`` and
+        the tick CPU load.
+        """
+        if self._timers:
+            raise SimulationError(
+                "OsTimerTicks.start() called twice; stop() first to re-arm"
+            )
         stagger = self.period_ns // max(1, len(self.cores))
         for index, core in enumerate(self.cores):
             timer = PeriodicTimer(
                 self.sim, self.period_ns, self._make_tick(core)
             )
             self._timers.append(timer)
-            self.sim.schedule(index * stagger, timer.start)
+            self._arm_events.append(self.sim.schedule(index * stagger, timer.start))
 
     def stop(self) -> None:
-        """Disarm all tick timers."""
+        """Disarm all tick timers (including staggered arms in flight)."""
+        for event in self._arm_events:
+            event.cancel()
+        self._arm_events.clear()
         for timer in self._timers:
             timer.stop()
+        self._timers.clear()
 
     def _make_tick(self, core: Core):
         def fire() -> None:

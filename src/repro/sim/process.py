@@ -11,6 +11,10 @@ generator loop) much easier to read than chained callbacks, while
 state machines with many external triggers (LTSSM, APMU) remain
 callback/FSM based.
 
+A process recycles one resume :class:`~repro.sim.engine.Event` for its
+whole life (via :meth:`Simulator.reschedule`), so long Delay loops —
+load generators, pollers — do not allocate an event per iteration.
+
 Example
 -------
 >>> from repro.sim import Simulator, Process, Delay
@@ -49,6 +53,11 @@ class Delay:
     def __init__(self, duration_ns: int):
         if duration_ns < 0:
             raise ValueError(f"delay must be non-negative, got {duration_ns}")
+        if duration_ns != int(duration_ns):
+            raise ValueError(
+                f"delay must be whole nanoseconds, got {duration_ns!r} "
+                "(round in the model, not in the kernel)"
+            )
         self.duration_ns = int(duration_ns)
 
 
@@ -73,13 +82,22 @@ class WaitEvent:
         self.value = value
         waiters, self._waiters = self._waiters, []
         for process in waiters:
+            process._waiting_on = None
             process._resume_soon(value)
 
     def _subscribe(self, process: "Process") -> None:
         if self.triggered:
             process._resume_soon(self.value)
         else:
+            process._waiting_on = self
             self._waiters.append(process)
+
+    def _unsubscribe(self, process: "Process") -> None:
+        """Drop a waiter that will no longer consume this trigger."""
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            pass
 
 
 class Process:
@@ -103,9 +121,11 @@ class Process:
         self.result: Any = None
         self._pending_event = None
         self._interrupt: Interrupt | None = None
+        self._waiting_on: WaitEvent | None = None
+        self._resume_value: Any = None
         # Start on the next event boundary so construction order does
         # not matter within a single callback.
-        self._pending_event = sim.schedule(0, self._resume, None)
+        self._pending_event = sim.schedule(0, self._resume)
 
     # -- control ---------------------------------------------------------
     def interrupt(self, cause: Any = None) -> None:
@@ -113,20 +133,34 @@ class Process:
         if self.finished:
             return
         self._interrupt = Interrupt(cause)
+        # Abandon whatever the process was suspended on. Without the
+        # unsubscribe, a WaitEvent triggering later would inject a
+        # spurious resume (carrying the trigger value) into a generator
+        # that has long moved on to a different Delay/WaitEvent.
+        if self._waiting_on is not None:
+            self._waiting_on._unsubscribe(self)
+            self._waiting_on = None
         if self._pending_event is not None and self._pending_event.pending:
             self._pending_event.cancel()
-        self._pending_event = self.sim.schedule(0, self._resume, None)
+        self._resume_value = None
+        self._pending_event = self.sim.schedule(0, self._resume)
 
     # -- internals ---------------------------------------------------------
     def _resume_soon(self, value: Any) -> None:
         if self.finished:
             return
-        self._pending_event = self.sim.schedule(0, self._resume, value)
+        self._resume_value = value
+        self._pending_event = self.sim.schedule(0, self._resume)
 
-    def _resume(self, value: Any) -> None:
+    def _resume(self) -> None:
         if self.finished:
             return
+        # The event that is firing right now; reusable for the next
+        # suspension (it is popped and marked fired by the kernel).
+        spent = self._pending_event
         self._pending_event = None
+        self._waiting_on = None
+        value, self._resume_value = self._resume_value, None
         try:
             if self._interrupt is not None:
                 interrupt, self._interrupt = self._interrupt, None
@@ -137,13 +171,16 @@ class Process:
             self.finished = True
             self.result = stop.value
             return
-        self._dispatch(command)
+        self._dispatch(command, spent)
 
-    def _dispatch(self, command: Any) -> None:
+    def _dispatch(self, command: Any, spent=None) -> None:
         if isinstance(command, Delay):
-            self._pending_event = self.sim.schedule(
-                command.duration_ns, self._resume, None
-            )
+            if spent is not None and spent.fired:
+                self._pending_event = self.sim.reschedule(spent, command.duration_ns)
+            else:
+                self._pending_event = self.sim.schedule(
+                    command.duration_ns, self._resume
+                )
         elif isinstance(command, WaitEvent):
             command._subscribe(self)
         else:

@@ -7,19 +7,28 @@ from typing import Any, Callable
 from repro.sim.engine import Event, Simulator
 
 
+def _whole_ns(value: int, what: str) -> int:
+    """Validate an integral nanosecond count (no silent truncation)."""
+    if value != int(value):
+        raise ValueError(f"{what} must be whole nanoseconds, got {value!r}")
+    return int(value)
+
+
 class PeriodicTimer:
     """Fires ``fn()`` every ``period_ns`` until stopped.
 
     Used by the GPMU for housekeeping ticks and by the tracing layer
     for sampling. The first firing happens one full period after
-    :meth:`start` (matching a hardware countdown timer).
+    :meth:`start` (matching a hardware countdown timer). Steady-state
+    ticks recycle one kernel event via ``Simulator.reschedule`` — a
+    running timer does not allocate per tick.
     """
 
     def __init__(self, sim: Simulator, period_ns: int, fn: Callable[[], Any]):
         if period_ns <= 0:
             raise ValueError(f"period must be positive, got {period_ns}")
         self.sim = sim
-        self.period_ns = int(period_ns)
+        self.period_ns = _whole_ns(period_ns, "period")
         self.fn = fn
         self._event: Event | None = None
         self.fire_count = 0
@@ -42,7 +51,9 @@ class PeriodicTimer:
 
     def _fire(self) -> None:
         self.fire_count += 1
-        self._event = self.sim.schedule(self.period_ns, self._fire)
+        # The event driving this callback has just fired; re-arm it for
+        # the next period instead of allocating a new one.
+        self._event = self.sim.reschedule(self._event, self.period_ns)
         self.fn()
 
 
@@ -50,16 +61,19 @@ class RestartableTimeout:
     """A one-shot timeout that can be re-armed, e.g. an idle-window timer.
 
     The IO link controllers use this to detect "link idle for N ns"
-    before entering L0s: every packet restarts the countdown.
+    before entering L0s: every packet restarts the countdown. Restarts
+    cancel lazily (the kernel compacts dead entries), and re-arming
+    after an expiry recycles the expired event object.
     """
 
     def __init__(self, sim: Simulator, duration_ns: int, fn: Callable[[], Any]):
         if duration_ns < 0:
             raise ValueError(f"duration must be non-negative, got {duration_ns}")
         self.sim = sim
-        self.duration_ns = int(duration_ns)
+        self.duration_ns = _whole_ns(duration_ns, "duration")
         self.fn = fn
         self._event: Event | None = None
+        self._spent: Event | None = None
 
     @property
     def armed(self) -> bool:
@@ -69,14 +83,25 @@ class RestartableTimeout:
     def restart(self) -> None:
         """(Re)start the countdown from the full duration."""
         self.cancel()
-        self._event = self.sim.schedule(self.duration_ns, self._expire)
+        spent = self._spent
+        if spent is not None and not spent._in_heap:
+            self._spent = None
+            self._event = self.sim.reschedule(spent, self.duration_ns)
+        else:
+            self._event = self.sim.schedule(self.duration_ns, self._expire)
 
     def cancel(self) -> None:
         """Disarm without firing."""
-        if self._event is not None:
-            self._event.cancel()
+        event = self._event
+        if event is not None:
+            event.cancel()
+            # A cancelled event still sits in the heap until popped or
+            # compacted; remember it so a later restart can recycle it
+            # once the kernel has retired it.
+            self._spent = event
             self._event = None
 
     def _expire(self) -> None:
+        self._spent = self._event
         self._event = None
         self.fn()

@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.server.experiment import ExperimentResult
-from repro.server.stats import LatencySummary
+from repro.server.stats import LatencySummary, MachineStats
 from repro.sweep.spec import ExperimentSpec
 from repro.tracing.socwatch import OpportunityEstimate
 
@@ -42,6 +42,10 @@ def result_from_dict(data: dict) -> ExperimentResult:
     data["active_after_idle_dist"] = {
         int(n): frac for n, frac in data["active_after_idle_dist"].items()
     }
+    # Records persisted before the kernel counters existed lack the
+    # field (or carry an explicit null); both deserialize to None.
+    if data.get("kernel") is not None:
+        data["kernel"] = MachineStats(**data["kernel"])
     return ExperimentResult(**data)
 
 
