@@ -21,7 +21,7 @@ from repro.analysis.savings import savings_between
 from repro.core.latency import Pc1aLatencyModel
 from repro.dram.timings import DDR4_2666
 from repro.power.budgets import DEFAULT_BUDGET
-from repro.server.configs import MachineConfig, cpc1a, cshallow
+from repro.server.configs import MachineConfig
 from repro.units import US
 from repro.workloads.memcached import MemcachedWorkload
 

@@ -5,7 +5,6 @@ closed-form latency model and the paper's numbers: ~18 ns entry,
 ~150 ns exit, <= 200 ns worst case, > 250x faster than PC6.
 """
 
-import pytest
 
 from _common import save_report
 from _machines_bench import settled_machine

@@ -7,7 +7,7 @@ paper also observes a latency spike for Cdeep at high load caused by
 mispredicted deep sleeps.
 """
 
-from _common import duration_for_rate, measure, save_report
+from _common import measure, save_report
 from repro.analysis.report import format_table
 from repro.server.configs import cdeep, cshallow
 from repro.workloads.memcached import MemcachedWorkload

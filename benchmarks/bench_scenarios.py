@@ -1,0 +1,99 @@
+"""E16 — the scenario matrix: every registered scenario x C-state configs.
+
+Sweeps each scenario the registry knows (paper services plus the
+nginx-style web tier, the RPC fan-out tier, the diurnal MMPP variant
+and trace replay) across the paper's three C-state configurations,
+and checks the headline AgilePkgC claim — CPC1A never costs power
+versus Cshallow — holds for traffic shapes the paper never measured.
+
+This bench is intentionally registry-driven: a scenario added with
+one decorator shows up in the matrix (and its physics gets checked)
+without touching this file.
+"""
+
+from __future__ import annotations
+
+from _common import run_bench_sweep, save_report
+from repro.analysis.report import format_table
+from repro.scenarios import all_scenarios, sweep_points
+from repro.sweep import SweepSpec
+from repro.units import MS
+
+CONFIGS = ("Cshallow", "Cdeep", "CPC1A")
+DURATION = 40 * MS
+#: CPC1A may never cost more than Cshallow (beyond CI noise).
+POWER_SLACK_W = 0.5
+
+
+def _matrix_points():
+    """One loaded operating point per scenario (idle covers rate 0)."""
+    points = []
+    for scenario in all_scenarios():
+        if scenario.uses_rate:
+            rates = [r for r in scenario.default_rates if r > 0]
+            selected = sweep_points(scenario.name, rates=rates[:1])
+        elif scenario.kind == "preset":
+            selected = sweep_points(
+                scenario.name, presets=scenario.default_presets[:1]
+            )
+        else:
+            selected = sweep_points(scenario.name)
+        points.extend(selected)
+    return tuple(points)
+
+
+def bench_scenarios(benchmark):
+    spec = SweepSpec(
+        workloads=_matrix_points(),
+        configs=CONFIGS,
+        seeds=(2,),
+        duration_ns=DURATION,
+    )
+    measured = {}
+
+    def sweep():
+        results = run_bench_sweep(spec)
+        for cell, result in zip(results.cells, results.results):
+            measured[(cell.scenario, cell.config)] = result
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    scenarios = [point.scenario for point in spec.workloads]
+    rows = []
+    for name in scenarios:
+        base = measured[(name, "Cshallow")]
+        apc = measured[(name, "CPC1A")]
+        saved = base.total_power_w - apc.total_power_w
+        rows.append([
+            name,
+            f"{base.utilization:.3f}",
+            f"{base.all_idle_fraction:.3f}",
+            f"{apc.pc1a_residency():.3f}",
+            f"{apc.total_power_w:.2f} W",
+            f"{saved:+.2f} W",
+        ])
+    table = format_table(
+        ["scenario", "util", "all-idle", "PC1A res", "CPC1A power", "saved"],
+        rows,
+    )
+    save_report(
+        "scenarios_matrix",
+        table + f"\n({len(spec)} cells: {len(scenarios)} scenarios x "
+        f"{len(CONFIGS)} configs)",
+    )
+
+    for name in scenarios:
+        base = measured[(name, "Cshallow")]
+        apc = measured[(name, "CPC1A")]
+        # The paper's claim, extended to unseen traffic shapes: a
+        # sub-microsecond package state never costs average power.
+        assert (
+            apc.total_power_w <= base.total_power_w + POWER_SLACK_W
+        ), f"{name}: CPC1A {apc.total_power_w} W vs Cshallow {base.total_power_w} W"
+        # Whenever the machine is ever fully idle, PC1A must be used.
+        if apc.all_idle_fraction > 0.05:
+            assert apc.pc1a_residency() > 0, name
+    # The fan-out tier is the coupling stress case: it must still show
+    # exploitable all-idle time at its default operating point.
+    rpc = measured[("rpc-fanout", "CPC1A")]
+    assert rpc.all_idle_fraction > 0.10

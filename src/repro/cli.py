@@ -2,14 +2,15 @@
 
 Commands
 --------
-``run``      one experiment (workload x config) with a result summary;
-``compare``  paired Cshallow-vs-CPC1A comparison at one load;
-``idle``     Table 1-style idle power across the three configs;
-``latency``  the PC1A transition-latency decomposition (Sec. 5.5);
-``area``     the APC area-overhead breakdown (Sec. 5.1-5.3);
-``export``   sweep a rate range and write the observables as CSV;
-``sweep``    run a workload x config x rate x seed grid in parallel;
-``validate`` fast end-to-end check of the headline paper anchors.
+``run``       one experiment (workload x config) with a result summary;
+``compare``   paired Cshallow-vs-CPC1A comparison at one load;
+``idle``      Table 1-style idle power across the three configs;
+``latency``   the PC1A transition-latency decomposition (Sec. 5.5);
+``area``      the APC area-overhead breakdown (Sec. 5.1-5.3);
+``export``    sweep a rate range and write the observables as CSV;
+``sweep``     run a scenario x config x rate x seed grid in parallel;
+``scenarios`` list the registered traffic scenarios;
+``validate``  fast end-to-end check of the headline paper anchors.
 
 Sweeps
 ------
@@ -26,16 +27,32 @@ both a per-cell CSV and a per-seed mean/CI summary::
 Re-running with an unchanged grid is free: every cell is a cache hit.
 ``export`` remains the figure-oriented single-seed CSV (same engine
 underneath, fixed column set for re-plotting Figs. 6/7).
+
+Scenarios
+---------
+``--scenario`` sweeps a registered scenario on its default grid
+(override with ``--rates``/``--presets``/``--trace``), and
+``repro scenarios list`` shows everything the registry knows::
+
+    python -m repro scenarios list
+    python -m repro sweep --scenario nginx --configs Cshallow,CPC1A
+    python -m repro sweep --scenario replay --trace traces/prod.csv
+
+``--stats-json`` writes a machine-readable run summary (cells, cache
+hits/misses, rows) for CI assertions.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
+from repro import scenarios as scenario_registry
 from repro.analysis.report import PaperComparison, comparison_table, format_table
 from repro.analysis.savings import savings_between
 from repro.core.area import SkxAreaModel
@@ -54,11 +71,13 @@ from repro.sweep import (
 )
 from repro.units import MS
 from repro.workloads.base import NullWorkload
-from repro.workloads.factory import (
-    PRESET_WORKLOADS,
-    WORKLOAD_NAMES,
-    build_workload,
-)
+from repro.workloads.factory import build_workload, workload_names
+
+#: Historical grid defaults (memcached's rate axis; mysql/kafka's
+#: shared presets) used when neither ``--scenario`` nor an explicit
+#: grid narrows them.
+DEFAULT_RATES = "0,4000,10000,25000,50000,100000"
+DEFAULT_PRESETS = "low,high"
 
 
 def _resolve_workers(workers: int) -> int:
@@ -106,18 +125,27 @@ def summarize(result: ExperimentResult) -> str:
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="memcached",
-                        choices=list(WORKLOAD_NAMES))
+                        choices=list(workload_names()))
     parser.add_argument("--qps", type=float, default=20_000,
-                        help="offered rate (memcached)")
+                        help="offered rate (rate-driven scenarios)")
     parser.add_argument("--preset", default="low",
-                        help="mysql/kafka preset (low/mid/high)")
+                        help="preset (mysql/kafka) or trace path (replay)")
     parser.add_argument("--duration-ms", type=int, default=100)
     parser.add_argument("--warmup-ms", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _build_cli_workload(args: argparse.Namespace):
+    """Build the run/compare workload with CLI-friendly errors."""
+    try:
+        return build_workload(args.workload, args.qps, args.preset)
+    except (KeyError, ValueError, OSError) as error:
+        # OSError: a trace workload naming a missing/unreadable file.
+        raise SystemExit(f"invalid workload: {error}") from None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    workload = build_workload(args.workload, args.qps, args.preset)
+    workload = _build_cli_workload(args)
     result = run_experiment(
         workload, config_by_name(args.config),
         duration_ns=args.duration_ms * MS, warmup_ns=args.warmup_ms * MS,
@@ -128,11 +156,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    workload = build_workload(args.workload, args.qps, args.preset)
+    _build_cli_workload(args)  # validate before the first full run
     results = {}
     for name in ("Cshallow", "CPC1A"):
         results[name] = run_experiment(
-            build_workload(args.workload, args.qps, args.preset),
+            _build_cli_workload(args),
             config_by_name(name),
             duration_ns=args.duration_ms * MS,
             warmup_ns=args.warmup_ms * MS,
@@ -212,7 +240,8 @@ def _split_configs(value: str) -> tuple[str, ...]:
 
 def _rate_points(args: argparse.Namespace) -> tuple[WorkloadPoint, ...]:
     """--rates -> workload points (rate 0 = the fully idle server)."""
-    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    rates_csv = args.rates if args.rates is not None else DEFAULT_RATES
+    rates = [float(r) for r in rates_csv.split(",") if r.strip()]
     if not rates:
         raise SystemExit("--rates must list at least one rate")
     return tuple(
@@ -279,24 +308,60 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_points(args: argparse.Namespace) -> tuple[WorkloadPoint, ...]:
+    """--scenario (+ optional --rates/--presets/--trace) -> points."""
+    rates = None
+    if args.rates is not None:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        if not rates:
+            raise SystemExit("--rates must list at least one rate")
+    presets = None
+    if args.presets is not None:
+        presets = tuple(p.strip() for p in args.presets.split(",") if p.strip())
+        if not presets:
+            raise SystemExit("--presets must list at least one preset")
+    points = scenario_registry.sweep_points(
+        args.scenario, rates=rates, presets=presets, trace=args.trace
+    )
+    if args.duration_ms:
+        # An explicit window beats the scenario's default: drop the
+        # point-level override so the spec-level one applies.
+        points = tuple(
+            replace(point, duration_ns=None, warmup_ns=None)
+            for point in points
+        )
+    return points
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run a full workload x config x rate x seed grid in parallel.
+    """Run a full scenario x config x rate x seed grid in parallel.
 
     Writes every cell as a CSV row (seed column included) and prints a
     per-seed mean/CI summary per grid cell. With ``--store``, cells
     are cached under content-hash keys: re-running an unchanged grid
-    simulates nothing.
+    simulates nothing. ``--stats-json`` persists the run accounting
+    (cells, cache hits/misses, rows) for machine consumption.
     """
     try:
-        if args.workload in PRESET_WORKLOADS:
+        kind = scenario_registry.get(args.scenario or args.workload).kind
+        if args.scenario:
+            points = _scenario_points(args)
+        elif kind == "preset":
+            preset_csv = args.presets or DEFAULT_PRESETS
             presets = tuple(
-                p.strip() for p in args.presets.split(",") if p.strip()
+                p.strip() for p in preset_csv.split(",") if p.strip()
             )
             if not presets:
                 raise SystemExit("--presets must list at least one preset")
             points = preset_points(args.workload, presets)
-        elif args.workload == "idle":
-            points = (WorkloadPoint("idle"),)
+        elif kind == "trace":
+            # Trace scenarios have exactly one operating point: the
+            # file (--trace; default = the scenario's bundled trace).
+            points = scenario_registry.sweep_points(
+                args.workload, trace=args.trace
+            )
+        elif kind == "fixed":
+            points = (WorkloadPoint(args.workload),)
         else:
             points = _rate_points(args)
         seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
@@ -309,7 +374,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             duration_ns=args.duration_ms * MS if args.duration_ms else None,
             warmup_ns=args.warmup_ms * MS if args.warmup_ms is not None else None,
         )
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, OSError) as error:
+        # OSError: a trace scenario naming a missing/unreadable file.
         raise SystemExit(f"invalid sweep grid: {error}") from None
     workers = _resolve_workers(args.workers)
     store = ResultStore(args.store) if args.store else None
@@ -320,6 +386,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{results.cache_hits} cache hit(s)"
     )
     print(f"wrote {count} rows to {args.out}")
+    if args.stats_json:
+        unique = len({cell.key() for cell in results.cells})
+        stats_path = Path(args.stats_json)
+        stats_path.parent.mkdir(parents=True, exist_ok=True)
+        stats_path.write_text(json.dumps({
+            "cells": len(spec),
+            "unique_cells": unique,
+            "cache_hits": results.cache_hits,
+            "cache_misses": unique - results.cache_hits,
+            "workers": workers,
+            "rows": count,
+            "csv": str(args.out),
+        }, indent=1, sort_keys=True) + "\n")
+        print(f"wrote run stats to {stats_path}")
     rows = [
         [
             agg.config,
@@ -337,6 +417,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
          "power (W)", "mean lat (us)", "PC1A res"],
         rows,
     ))
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the registered scenarios (name, kind, defaults)."""
+    rows = []
+    for scenario in scenario_registry.all_scenarios():
+        if scenario.uses_rate:
+            grid = ",".join(f"{rate:g}" for rate in scenario.default_rates)
+        elif scenario.kind == "preset":
+            grid = ",".join(scenario.default_presets)
+        elif scenario.kind == "trace":
+            grid = "<trace file>"
+        else:
+            grid = "-"
+        rows.append([scenario.name, scenario.kind, grid, scenario.description])
+    print(format_table(["scenario", "kind", "default grid", "description"], rows))
+    print(f"\n{len(rows)} scenario(s); sweep one with: "
+          "repro sweep --scenario <name>")
     return 0
 
 
@@ -411,21 +510,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     export_parser.set_defaults(fn=cmd_export)
 
     sweep_parser = sub.add_parser(
-        "sweep", help="parallel workload x config x rate x seed grid"
+        "sweep", help="parallel scenario x config x rate x seed grid"
     )
     sweep_parser.add_argument("--workload", default="memcached",
-                              choices=list(WORKLOAD_NAMES))
+                              choices=list(workload_names()))
+    sweep_parser.add_argument(
+        "--scenario", default=None, choices=list(workload_names()),
+        help="sweep a registered scenario on its default grid "
+             "(overrides --workload; see 'repro scenarios list')",
+    )
     sweep_parser.add_argument(
         "--configs", default="Cshallow,CPC1A",
         help="comma-separated config names",
     )
     sweep_parser.add_argument(
-        "--rates", default="0,4000,10000,25000,50000,100000",
-        help="comma-separated offered rates (memcached; 0 = idle)",
+        "--rates", default=None,
+        help="comma-separated offered rates (rate scenarios; 0 = idle; "
+             f"default {DEFAULT_RATES})",
     )
     sweep_parser.add_argument(
-        "--presets", default="low,high",
-        help="comma-separated presets (mysql/kafka)",
+        "--presets", default=None,
+        help="comma-separated presets (mysql/kafka; "
+             f"default {DEFAULT_PRESETS})",
+    )
+    sweep_parser.add_argument(
+        "--trace", default=None,
+        help="trace file for --scenario replay (default: bundled example)",
     )
     sweep_parser.add_argument("--preset", default="low",
                               help=argparse.SUPPRESS)
@@ -447,7 +557,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     sweep_parser.add_argument("--store", default=None,
                               help="result-cache directory (optional)")
     sweep_parser.add_argument("--out", default="results/sweep_grid.csv")
+    sweep_parser.add_argument(
+        "--stats-json", default=None,
+        help="write machine-readable run stats (cells, cache hits) here",
+    )
     sweep_parser.set_defaults(fn=cmd_sweep)
+
+    scenarios_parser = sub.add_parser(
+        "scenarios", help="list the registered traffic scenarios"
+    )
+    scenarios_parser.add_argument(
+        "action", nargs="?", default="list", choices=["list"],
+        help="what to do (only 'list' for now)",
+    )
+    scenarios_parser.set_defaults(fn=cmd_scenarios)
 
     validate_parser = sub.add_parser(
         "validate", help="check the headline paper anchors"

@@ -15,7 +15,6 @@ from repro.power.budgets import DramPowerSpec
 from repro.power.meter import PowerChannel
 from repro.power.residency import ResidencyCounter
 from repro.sim.engine import Simulator
-from repro.units import joules
 
 
 class DramPowerMode(str, Enum):

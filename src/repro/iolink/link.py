@@ -28,7 +28,7 @@ from repro.iolink.lstates import (
     PCIE_TIMINGS,
     UPI_TIMINGS,
 )
-from repro.iolink.ltssm import Ltssm, LtssmError
+from repro.iolink.ltssm import Ltssm
 from repro.power.budgets import DMI_POWER, LinkPowerSpec, PCIE_POWER, UPI_POWER
 from repro.power.meter import PowerChannel
 from repro.power.residency import ResidencyCounter

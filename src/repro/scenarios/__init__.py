@@ -1,0 +1,103 @@
+"""Declarative scenario registry: one name per traffic shape.
+
+The paper evaluates three services; real fleets mix many more traffic
+shapes, and idle-state conclusions depend on the arrival process at
+least as much as on the mean rate. This package makes "a traffic
+shape" a first-class, registrable object:
+
+>>> from repro.scenarios import scenario_names, sweep_points
+>>> "nginx" in scenario_names()
+True
+>>> points = sweep_points("nginx", rates=(0, 40_000))
+
+See :mod:`repro.scenarios.registry` for the registration API and
+:mod:`repro.scenarios.builtin` for the shipped scenarios (the three
+paper services, the idle server, an nginx-style web tier, a
+scatter-gather RPC tier, a diurnal MMPP variant, and deterministic
+trace replay).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import (
+    DISCOVERY_ENV,
+    SCENARIO_KINDS,
+    Scenario,
+    ScenarioError,
+    all_scenarios,
+    build,
+    get,
+    is_registered,
+    register,
+    register_scenario,
+    scenario_names,
+    unregister,
+)
+
+
+def sweep_points(
+    name: str,
+    rates: tuple[float, ...] | list[float] | None = None,
+    presets: tuple[str, ...] | list[str] | None = None,
+    trace: str | None = None,
+):
+    """Workload points for sweeping one scenario.
+
+    Uses the scenario's registered defaults unless ``rates`` (rate
+    scenarios), ``presets`` (preset scenarios) or ``trace`` (trace
+    scenarios) narrow them. Returns a tuple of
+    :class:`~repro.sweep.spec.WorkloadPoint`.
+    """
+    from repro.sweep.spec import WorkloadPoint
+
+    scenario = get(name)
+    duration = scenario.default_duration_ns
+    for label, value, kinds in (
+        ("rates", rates, ("rate",)),
+        ("presets", presets, ("preset",)),
+        ("trace", trace, ("trace",)),
+    ):
+        if value is not None and scenario.kind not in kinds:
+            raise ScenarioError(
+                f"scenario {name!r} is {scenario.kind}-driven; "
+                f"{label} does not apply"
+            )
+    if scenario.kind == "rate":
+        if rates is None:
+            rates = scenario.default_rates
+        grid = tuple(float(r) for r in rates)
+        if not grid:
+            raise ScenarioError(f"scenario {name!r} has no default rates")
+        return tuple(
+            WorkloadPoint(scenario=name, qps=qps, duration_ns=duration)
+            for qps in grid
+        )
+    if scenario.kind == "preset":
+        labels = tuple(presets if presets is not None else scenario.default_presets)
+        if not labels:
+            raise ScenarioError(f"scenario {name!r} has no default presets")
+        return tuple(
+            WorkloadPoint(scenario=name, preset=label, duration_ns=duration)
+            for label in labels
+        )
+    if scenario.kind == "trace":
+        point = WorkloadPoint(scenario=name, preset=trace or "", duration_ns=duration)
+        return (point,)
+    return (WorkloadPoint(scenario=name, duration_ns=duration),)
+
+
+__all__ = [
+    "DISCOVERY_ENV",
+    "SCENARIO_KINDS",
+    "Scenario",
+    "ScenarioError",
+    "all_scenarios",
+    "build",
+    "get",
+    "is_registered",
+    "register",
+    "register_scenario",
+    "scenario_names",
+    "sweep_points",
+    "unregister",
+]

@@ -1,0 +1,132 @@
+"""The built-in scenarios: the paper's three services and beyond.
+
+Loaded lazily by the registry on first access. Each block below is
+the complete recipe for one traffic shape; adding another is one
+decorator (see :mod:`repro.scenarios.registry`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.scenarios.registry import register_scenario
+from repro.units import MS
+from repro.workloads.arrivals import MMPPArrivals
+from repro.workloads.base import NullWorkload, Workload
+from repro.workloads.kafka import KAFKA_PRESETS, KafkaWorkload
+from repro.workloads.memcached import MemcachedWorkload
+from repro.workloads.mysql import MYSQL_PRESETS, MySqlWorkload
+from repro.workloads.nginx import NginxWorkload
+from repro.workloads.replay import TraceReplayWorkload
+from repro.workloads.rpcfanout import RpcFanoutWorkload
+
+#: The paper's memcached rate axis (Fig. 7; 0 = the idle server).
+PAPER_RATES = (0.0, 4_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0)
+
+#: Bundled example trace for the ``replay`` scenario; ``--trace`` (or
+#: the cell preset) points at a recorded one instead.
+EXAMPLE_TRACE = Path(__file__).resolve().parent / "data" / "example_trace.csv"
+
+#: Preset spellings that select the bundled example trace ("low" is
+#: the spec-level default preset, so bare ``--scenario replay`` works).
+DEFAULT_TRACE_ALIASES = ("", "low", "default", "example")
+
+
+@register_scenario(
+    name="memcached",
+    kind="rate",
+    description="Mutilate/ETC key-value store, bursty open loop (Fig. 7)",
+    default_rates=PAPER_RATES,
+    tags=("paper",),
+)
+def _memcached(qps: float, preset: str) -> Workload:
+    return MemcachedWorkload(qps)
+
+
+@register_scenario(
+    name="mysql",
+    kind="preset",
+    description="sysbench OLTP: paced at low rate, convoys at high (Fig. 8)",
+    default_presets=tuple(MYSQL_PRESETS),
+    tags=("paper",),
+)
+def _mysql(qps: float, preset: str) -> Workload:
+    return MySqlWorkload(preset)
+
+
+@register_scenario(
+    name="kafka",
+    kind="preset",
+    description="poll-cycle consumer batches, phase-grouped workers (Fig. 9)",
+    default_presets=tuple(KAFKA_PRESETS),
+    tags=("paper",),
+)
+def _kafka(qps: float, preset: str) -> Workload:
+    return KafkaWorkload(preset)
+
+
+@register_scenario(
+    name="idle",
+    kind="fixed",
+    description="no requests at all: the fully idle server (Fig. 7a)",
+    default_duration_ns=40 * MS,
+    tags=("paper",),
+)
+def _idle(qps: float, preset: str) -> Workload:
+    return NullWorkload()
+
+
+@register_scenario(
+    name="nginx",
+    kind="rate",
+    description="short-request web tier: microsecond static hits + dynamic tail",
+    default_rates=(0.0, 10_000.0, 40_000.0, 120_000.0),
+)
+def _nginx(qps: float, preset: str) -> Workload:
+    return NginxWorkload(qps)
+
+
+@register_scenario(
+    name="rpc-fanout",
+    kind="rate",
+    description="scatter-gather RPC tier: each arrival wakes several cores",
+    default_rates=(0.0, 2_000.0, 8_000.0, 20_000.0),
+)
+def _rpc_fanout(qps: float, preset: str) -> Workload:
+    return RpcFanoutWorkload(qps)
+
+
+@register_scenario(
+    name="memcached-diurnal",
+    kind="rate",
+    description="memcached under a 4-phase MMPP diurnal cycle (mean = rate)",
+    default_rates=(0.0, 10_000.0, 40_000.0),
+)
+def _memcached_diurnal(qps: float, preset: str) -> Workload:
+    # Trough -> ramp -> peak -> ramp, compressed to simulation time;
+    # dwell-weighted mean equals the nominal rate, so rows compare
+    # directly against the stationary memcached scenario.
+    workload = MemcachedWorkload(
+        qps,
+        arrivals=MMPPArrivals(
+            rates_per_s=(0.5 * qps, qps, 1.75 * qps, qps),
+            dwell_ns=(30 * MS, 15 * MS, 20 * MS, 15 * MS),
+        ),
+    )
+    workload.name = "memcached-diurnal"
+    return workload
+
+
+def _resolve_trace(preset: str) -> Path:
+    """Preset field -> trace file (aliases select the bundled example)."""
+    return EXAMPLE_TRACE if preset in DEFAULT_TRACE_ALIASES else Path(preset)
+
+
+@register_scenario(
+    name="replay",
+    kind="trace",
+    description="deterministic trace replay; preset/--trace = trace file path",
+    trace_resolver=_resolve_trace,
+)
+def _replay(qps: float, preset: str) -> Workload:
+    return TraceReplayWorkload(_resolve_trace(preset))

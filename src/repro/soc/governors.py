@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.soc.cstates import CC0, CC1, CC1E, CC6, CoreCState
+from repro.soc.cstates import CC1, CC1E, CC6, CoreCState
 
 
 class GovernorError(RuntimeError):

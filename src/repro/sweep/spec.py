@@ -14,19 +14,18 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass
+from pathlib import Path
 
+from repro.scenarios import registry as scenarios
 from repro.server.configs import CONFIG_BUILDERS, MachineConfig, config_by_name
 from repro.units import MS
 from repro.workloads.base import Workload
-from repro.workloads.factory import (
-    PRESET_WORKLOADS,
-    WORKLOAD_NAMES,
-    build_workload,
-)
 
 #: Bump when the cell schema or measurement semantics change, so stale
 #: cache entries from an incompatible layout can never be returned.
-SCHEMA_VERSION = 1
+#: v2: cells are keyed by scenario (the registry name) instead of the
+#: fixed workload tuple.
+SCHEMA_VERSION = 2
 
 
 def duration_for_rate(qps: float) -> int:
@@ -51,47 +50,87 @@ def warmup_for_duration(duration_ns: int) -> int:
     return max(20 * MS, duration_ns // 6)
 
 
+#: (scenario, preset) pairs whose workload already built successfully
+#: this process. Preset validation builds the workload, and for trace
+#: scenarios that parses the whole trace file — do it once per
+#: distinct operating point, not once per cell/label.
+_VALIDATED_PRESETS: set[tuple[str, str]] = set()
+
+
+def _normalize_scenario(workload: str, scenario: str) -> tuple[str, str]:
+    """Resolve the (workload, scenario) pair of a cell.
+
+    ``scenario`` names the registry entry that builds the traffic;
+    ``workload`` is the label results carry. Either may be omitted
+    (they default to each other — every pre-registry cell spelled only
+    a workload name), but the scenario must be registered.
+    """
+    scenario = scenario or workload
+    if not scenario:
+        raise KeyError("a cell needs a workload or scenario name")
+    if not scenarios.is_registered(scenario):
+        raise KeyError(
+            f"unknown workload/scenario {scenario!r}; "
+            f"have {scenarios.scenario_names()}"
+        )
+    return workload or scenario, scenario
+
+
 @dataclass(frozen=True)
 class WorkloadPoint:
     """One workload operating point of a sweep grid.
 
-    ``duration_ns``/``warmup_ns`` override the spec-level window for
-    this point only (e.g. the idle point of a power curve can use a
-    short window while loaded points keep rate-sized ones).
+    ``scenario`` names the registry entry that builds the traffic
+    (defaulting to ``workload``, so every historical spelling keeps
+    working); ``duration_ns``/``warmup_ns`` override the spec-level
+    window for this point only (e.g. the idle point of a power curve
+    can use a short window while loaded points keep rate-sized ones).
     """
 
-    workload: str
+    workload: str = ""
     qps: float = 0.0
     preset: str = "low"
     duration_ns: int | None = None
     warmup_ns: int | None = None
+    scenario: str = ""
 
     def __post_init__(self) -> None:
-        if self.workload not in WORKLOAD_NAMES:
-            raise KeyError(
-                f"unknown workload {self.workload!r}; have {WORKLOAD_NAMES}"
-            )
+        workload, scenario = _normalize_scenario(self.workload, self.scenario)
+        object.__setattr__(self, "workload", workload)
+        object.__setattr__(self, "scenario", scenario)
         if self.qps < 0:
             raise ValueError(f"offered QPS cannot be negative: {self.qps}")
-        if self.workload in PRESET_WORKLOADS:
+        if (
+            scenarios.get(scenario).uses_preset
+            and (scenario, self.preset) not in _VALIDATED_PRESETS
+        ):
             # Fail at construction, not inside a worker pool: building
-            # the workload is cheap and validates the preset name.
-            build_workload(self.workload, self.qps, self.preset)
+            # the workload validates the preset (or, for trace
+            # scenarios, the trace file) — cached per operating point
+            # so per-cell labels don't re-parse large traces.
+            self.build()
+            _VALIDATED_PRESETS.add((scenario, self.preset))
         # Canonical numeric type: int and float spellings of one rate
         # must compare, hash and cache identically.
         object.__setattr__(self, "qps", float(self.qps))
 
     def build(self) -> Workload:
         """Instantiate this point's workload."""
-        return build_workload(self.workload, self.qps, self.preset)
+        return scenarios.build(self.scenario, self.qps, self.preset)
 
     def label(self) -> str:
         """Short human label for tables and progress lines."""
-        if self.workload == "idle" or self.qps == 0 and self.workload == "memcached":
-            return "idle"
-        if self.workload == "memcached":
-            return f"memcached@{self.qps:g}"
-        return f"{self.workload}:{self.preset}"
+        kind = scenarios.get(self.scenario).kind
+        if kind == "rate":
+            if self.qps == 0:
+                return "idle"
+            return f"{self.scenario}@{self.qps:g}"
+        if kind == "preset":
+            return f"{self.scenario}:{self.preset}"
+        if kind == "trace":
+            trace = Path(self.preset).stem if self.preset else "example"
+            return f"{self.scenario}:{trace}"
+        return self.scenario
 
 
 def memcached_points(rates: tuple[float, ...] | list[float]) -> tuple[WorkloadPoint, ...]:
@@ -120,16 +159,16 @@ class ExperimentSpec:
     seed: int
     duration_ns: int
     warmup_ns: int
+    scenario: str = ""
 
     def __post_init__(self) -> None:
         if self.config not in CONFIG_BUILDERS:
             raise KeyError(
                 f"unknown config {self.config!r}; have {sorted(CONFIG_BUILDERS)}"
             )
-        if self.workload not in WORKLOAD_NAMES:
-            raise KeyError(
-                f"unknown workload {self.workload!r}; have {WORKLOAD_NAMES}"
-            )
+        workload, scenario = _normalize_scenario(self.workload, self.scenario)
+        object.__setattr__(self, "workload", workload)
+        object.__setattr__(self, "scenario", scenario)
         if self.duration_ns <= 0:
             raise ValueError(f"duration must be positive, got {self.duration_ns}")
         if self.warmup_ns < 0:
@@ -141,7 +180,7 @@ class ExperimentSpec:
     # -- construction ------------------------------------------------------
     def build_workload(self) -> Workload:
         """Instantiate the cell's workload."""
-        return build_workload(self.workload, self.qps, self.preset)
+        return scenarios.build(self.scenario, self.qps, self.preset)
 
     def build_config(self) -> MachineConfig:
         """Instantiate the cell's machine configuration."""
@@ -151,10 +190,10 @@ class ExperimentSpec:
     def preset_label(self) -> str:
         """The preset, when it selects this cell's operating point.
 
-        Rate-driven workloads carry the field's default value, which
+        Rate-driven scenarios carry the field's default value, which
         would mislabel CSV rows; report it only where it matters.
         """
-        return self.preset if self.workload in PRESET_WORKLOADS else ""
+        return self.preset if scenarios.get(self.scenario).uses_preset else ""
 
     # -- identity ----------------------------------------------------------
     def as_dict(self) -> dict:
@@ -171,20 +210,33 @@ class ExperimentSpec:
 
         The hash covers the *canonical* cell, so different spellings
         of the same physical experiment share a cache entry: rate 0
-        is the idle server however the workload is named, the preset
-        only counts for preset-driven workloads, and the rate only
-        counts for rate-driven ones.
+        is the idle server whatever the scenario is named, the preset
+        only counts for preset/trace-driven scenarios, and the rate
+        only counts for rate-driven ones.
         """
-        workload = self.workload
+        scenario = self.scenario
+        kind = scenarios.get(scenario).kind
         qps = self.qps
-        if workload == "memcached" and qps == 0:
-            workload = "idle"
-        if workload in PRESET_WORKLOADS or workload == "idle":
-            qps = 0.0  # build_workload ignores the rate here
-        preset = self.preset if workload in PRESET_WORKLOADS else ""
+        preset = ""
+        if kind == "rate" and qps == 0:
+            # Every rate-driven scenario at rate 0 is the same fully
+            # idle server.
+            scenario, kind = "idle", "fixed"
+        if kind == "preset":
+            qps = 0.0  # the builder ignores the rate here
+            preset = self.preset
+        elif kind == "trace":
+            qps = 0.0
+            # Key the trace *contents*: a re-recorded trace must
+            # re-simulate, and alias spellings of one file (relative
+            # vs absolute, the bundled-default aliases) must share a
+            # cache entry.
+            preset = scenarios.get(scenario).trace_token(self.preset)
+        elif kind == "fixed":
+            qps = 0.0
         payload = {
             "schema": SCHEMA_VERSION,
-            "workload": workload,
+            "scenario": scenario,
             "qps": qps,
             "preset": preset,
             "config": self.config,
@@ -197,7 +249,9 @@ class ExperimentSpec:
 
     def label(self) -> str:
         """Short human label for logs and progress lines."""
-        point = WorkloadPoint(self.workload, self.qps, self.preset)
+        point = WorkloadPoint(
+            self.workload, self.qps, self.preset, scenario=self.scenario
+        )
         return f"{self.config}/{point.label()}/seed{self.seed}"
 
 
@@ -284,6 +338,7 @@ class SweepSpec:
                             seed=seed,
                             duration_ns=duration,
                             warmup_ns=warmup,
+                            scenario=point.scenario,
                         ))
             object.__setattr__(self, "_expanded", cached)
         return list(cached)

@@ -1,4 +1,4 @@
-"""Workload generators for the three evaluated services.
+"""Workload generators for the evaluated services.
 
 The paper drives its server with Memcached (Mutilate replaying the
 Facebook ETC mix), Kafka (consumer/producer perf) and MySQL (sysbench
@@ -8,6 +8,12 @@ is calibrated against the paper's Fig. 6/8/9, so that everything the
 simulator then predicts (power savings, latency impact) is a genuine
 model output rather than a fit. See DESIGN.md Sec. 2 for the
 substitution argument.
+
+Beyond the paper, :class:`NginxWorkload` (short-request web tier),
+:class:`RpcFanoutWorkload` (scatter-gather with cross-core wakeup
+coupling) and :class:`TraceReplayWorkload` (deterministic recorded
+arrivals) widen the idleness spectrum; the scenario registry
+(:mod:`repro.scenarios`) is how they all plug into sweeps.
 """
 
 from repro.workloads.base import Request, Workload, NullWorkload
@@ -15,8 +21,10 @@ from repro.workloads.arrivals import (
     ArrivalProcess,
     ConvoyArrivals,
     GammaArrivals,
+    MMPPArrivals,
     MmppArrivals,
     PoissonArrivals,
+    TraceReplayArrivals,
 )
 from repro.workloads.service import (
     ExponentialService,
@@ -29,8 +37,25 @@ from repro.workloads.memcached import MemcachedWorkload
 from repro.workloads.kafka import KafkaWorkload
 from repro.workloads.mysql import MySqlWorkload, MYSQL_PRESETS
 from repro.workloads.kafka import KAFKA_PRESETS
+from repro.workloads.nginx import NginxWorkload
+from repro.workloads.replay import TraceReplayWorkload, load_trace
+from repro.workloads.rpcfanout import RpcFanoutWorkload
 from repro.workloads.upi_traffic import CompositeWorkload, UpiSnoopTraffic
-from repro.workloads.factory import WORKLOAD_NAMES, build_workload
+from repro.workloads.factory import build_workload
+
+
+def __getattr__(name: str):
+    """``WORKLOAD_NAMES``/``PRESET_WORKLOADS``, served live.
+
+    The tuples grow as scenarios register, so they are computed on
+    access (via the factory) rather than frozen at import time.
+    """
+    if name in ("WORKLOAD_NAMES", "PRESET_WORKLOADS"):
+        from repro.workloads import factory
+
+        return getattr(factory, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "build_workload",
@@ -41,8 +66,10 @@ __all__ = [
     "ArrivalProcess",
     "PoissonArrivals",
     "GammaArrivals",
+    "MMPPArrivals",
     "MmppArrivals",
     "ConvoyArrivals",
+    "TraceReplayArrivals",
     "ServiceModel",
     "ExponentialService",
     "FixedService",
@@ -53,6 +80,10 @@ __all__ = [
     "KAFKA_PRESETS",
     "MySqlWorkload",
     "MYSQL_PRESETS",
+    "NginxWorkload",
+    "RpcFanoutWorkload",
+    "TraceReplayWorkload",
+    "load_trace",
     "UpiSnoopTraffic",
     "CompositeWorkload",
 ]

@@ -16,6 +16,10 @@ services' idleness structure (paper Sec. 7):
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from typing import Sequence
+
 import numpy as np
 
 from repro.units import S
@@ -72,13 +76,78 @@ class GammaArrivals(ArrivalProcess):
         return max(1, int(rng.gamma(self.shape, scale)))
 
 
-class MmppArrivals(ArrivalProcess):
-    """A two-state Markov-modulated Poisson process.
+class MMPPArrivals(ArrivalProcess):
+    """An N-phase Markov-modulated Poisson process.
 
-    Alternates between a high-rate and a low-rate phase with
-    exponentially distributed dwell times — the classic model for the
-    bursty, unpredictable load the paper attributes to user-facing
-    services.
+    Cycles through ``rates_per_s`` in order; phase ``i`` holds for an
+    exponentially distributed dwell with mean ``dwell_ns[i]`` and emits
+    Poisson arrivals at ``rates_per_s[i]`` (zero = a quiet phase). Two
+    phases give the classic bursty on/off model for user-facing load;
+    more phases approximate a diurnal cycle (ramp-up, peak, ramp-down,
+    trough) compressed to simulation time scales.
+    """
+
+    def __init__(
+        self,
+        rates_per_s: Sequence[float],
+        dwell_ns: Sequence[int],
+    ):
+        rates = tuple(float(r) for r in rates_per_s)
+        dwells = tuple(int(d) for d in dwell_ns)
+        if len(rates) < 2:
+            raise ValueError(f"need at least two phases, got {len(rates)}")
+        if len(rates) != len(dwells):
+            raise ValueError(
+                f"{len(rates)} rates but {len(dwells)} dwell times"
+            )
+        if any(rate < 0 for rate in rates):
+            raise ValueError(f"rates cannot be negative: {rates}")
+        if max(rates) <= 0:
+            raise ValueError("at least one phase rate must be positive")
+        if any(dwell <= 0 for dwell in dwells):
+            raise ValueError(f"dwell times must be positive: {dwells}")
+        self.rates_per_s = rates
+        self.dwell_ns = dwells
+        self._phase = 0
+        # The first dwell is the exact mean (a deterministic anchor);
+        # subsequent dwells are exponential around their phase mean.
+        self._phase_left_ns = float(dwells[0])
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.rates_per_s)
+
+    def mean_rate_per_s(self) -> float:
+        """Stationary mean: dwell-weighted average of the phase rates."""
+        total = sum(self.dwell_ns)
+        weighted = sum(
+            rate * dwell for rate, dwell in zip(self.rates_per_s, self.dwell_ns)
+        )
+        return weighted / total
+
+    def next_gap_ns(self, rng: np.random.Generator) -> int:
+        gap = 0.0
+        while True:
+            rate = self.rates_per_s[self._phase]
+            candidate = rng.exponential(S / rate) if rate > 0 else float("inf")
+            if candidate <= self._phase_left_ns:
+                self._phase_left_ns -= candidate
+                gap += candidate
+                return max(1, int(gap))
+            # Cross into the next phase and keep sampling.
+            gap += self._phase_left_ns
+            self._phase = (self._phase + 1) % len(self.rates_per_s)
+            self._phase_left_ns = float(
+                rng.exponential(self.dwell_ns[self._phase])
+            )
+
+
+class MmppArrivals(MMPPArrivals):
+    """The two-state high/low special case of :class:`MMPPArrivals`.
+
+    Kept as the named model the MySQL/memcached docs reference —
+    alternating high-rate and low-rate phases with exponential dwells,
+    the classic model for bursty, unpredictable user-facing load.
     """
 
     def __init__(
@@ -90,38 +159,123 @@ class MmppArrivals(ArrivalProcess):
     ):
         if high_rate_per_s <= 0 or low_rate_per_s < 0:
             raise ValueError("rates must be positive (low rate may be zero)")
-        if high_dwell_ns <= 0 or low_dwell_ns <= 0:
-            raise ValueError("dwell times must be positive")
+        super().__init__(
+            (high_rate_per_s, low_rate_per_s), (high_dwell_ns, low_dwell_ns)
+        )
         self.high_rate_per_s = high_rate_per_s
         self.low_rate_per_s = low_rate_per_s
         self.high_dwell_ns = high_dwell_ns
         self.low_dwell_ns = low_dwell_ns
-        self._in_high = True
-        self._phase_left_ns = float(high_dwell_ns)
+
+
+class TraceReplayArrivals(ArrivalProcess):
+    """Replays recorded inter-arrival gaps — deterministic by design.
+
+    SleepScale's core argument is that sleep-state policy must be
+    evaluated against the *actual* arrival process of a service, not a
+    fitted stationary model; a trace replay is the ground truth those
+    models approximate. ``next_gap_ns`` ignores the RNG entirely: the
+    same trace yields the same arrival sequence on every run, every
+    seed, and every worker count.
+
+    The trace cycles when exhausted (measurement windows may be longer
+    than the recording), with ``cycle=False`` available for callers
+    that want exhaustion to be an error.
+    """
+
+    def __init__(self, gaps_ns: Sequence[int], cycle: bool = True):
+        gaps = [int(g) for g in gaps_ns]
+        if not gaps:
+            raise ValueError("a trace needs at least one inter-arrival gap")
+        if any(gap <= 0 for gap in gaps):
+            bad = next(g for g in gaps if g <= 0)
+            raise ValueError(f"trace gaps must be positive, got {bad}")
+        self.gaps_ns = tuple(gaps)
+        self.cycle = cycle
+        self._cursor = 0
+
+    @classmethod
+    def from_file(cls, path: str | Path, cycle: bool = True) -> "TraceReplayArrivals":
+        """Load a trace file (CSV or JSONL; see :func:`load_trace_gaps`)."""
+        return cls(load_trace_gaps(path), cycle=cycle)
 
     def mean_rate_per_s(self) -> float:
-        total = self.high_dwell_ns + self.low_dwell_ns
-        return (
-            self.high_rate_per_s * self.high_dwell_ns
-            + self.low_rate_per_s * self.low_dwell_ns
-        ) / total
+        return len(self.gaps_ns) * S / sum(self.gaps_ns)
 
     def next_gap_ns(self, rng: np.random.Generator) -> int:
-        gap = 0.0
-        while True:
-            rate = self.high_rate_per_s if self._in_high else self.low_rate_per_s
-            candidate = (
-                rng.exponential(S / rate) if rate > 0 else float("inf")
-            )
-            if candidate <= self._phase_left_ns:
-                self._phase_left_ns -= candidate
-                gap += candidate
-                return max(1, int(gap))
-            # Cross into the next phase and keep sampling.
-            gap += self._phase_left_ns
-            self._in_high = not self._in_high
-            dwell = self.high_dwell_ns if self._in_high else self.low_dwell_ns
-            self._phase_left_ns = float(rng.exponential(dwell))
+        if self._cursor >= len(self.gaps_ns):
+            if not self.cycle:
+                raise IndexError(
+                    f"trace exhausted after {len(self.gaps_ns)} arrivals"
+                )
+            self._cursor = 0
+        gap = self.gaps_ns[self._cursor]
+        self._cursor += 1
+        return gap
+
+
+def load_trace(path: str | Path) -> tuple[list[int], list[int] | None]:
+    """Parse a trace file into (gaps_ns, service_ns-or-None).
+
+    Two self-describing formats are accepted, keyed by file suffix;
+    this is the single parser every trace consumer shares
+    (:meth:`TraceReplayArrivals.from_file` and
+    :class:`~repro.workloads.replay.TraceReplayWorkload`):
+
+    * ``.csv`` (or anything else) — one inter-arrival gap (ns) per
+      line, optionally with a pinned per-request service time as a
+      second column; a ``gap_ns[,service_ns]`` header row, blank
+      lines and ``#`` comments are skipped.
+    * ``.jsonl`` — one JSON value per line: a bare number or an
+      object with ``gap_ns`` (and optionally ``service_ns``) fields.
+
+    Service times are all-or-nothing: either every row carries one or
+    none does (a partially annotated trace is ambiguous and rejected).
+    """
+    path = Path(path)
+    gaps: list[int] = []
+    services: list[int] = []
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if path.suffix == ".jsonl":
+            record = json.loads(line)
+            if isinstance(record, dict):
+                gap, service = record["gap_ns"], record.get("service_ns")
+            else:
+                gap, service = record, None
+        else:
+            fields = [field.strip() for field in line.split(",")]
+            if fields[0] == "gap_ns":
+                continue  # header row
+            try:
+                gap = int(float(fields[0]))
+                service = (
+                    int(float(fields[1]))
+                    if len(fields) > 1 and fields[1]
+                    else None
+                )
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_no}: expected numeric trace row, got {line!r}"
+                ) from None
+        gaps.append(int(gap))
+        if service is not None:
+            services.append(int(service))
+    if not gaps:
+        raise ValueError(f"{path}: trace contains no arrivals")
+    if len(services) not in (0, len(gaps)):
+        raise ValueError(
+            f"{path}: {len(services)}/{len(gaps)} rows carry a "
+            "service time; annotate every row or none"
+        )
+    return gaps, (services if services else None)
+
+
+def load_trace_gaps(path: str | Path) -> list[int]:
+    """The gaps column of :func:`load_trace` (arrival-process use)."""
+    return load_trace(path)[0]
 
 
 class ConvoyArrivals(ArrivalProcess):

@@ -2,42 +2,62 @@
 
 The sweep subsystem fans experiments out over worker processes, so a
 sweep cell must describe its workload with plain data (name + rate +
-preset) rather than a live object. This factory is the single place
-that mapping lives; the CLI reuses it so ``python -m repro run`` and a
-sweep cell with the same arguments build byte-identical workloads.
+preset) rather than a live object. Since PR 3 the mapping lives in
+the scenario registry (:mod:`repro.scenarios`): this module is the
+thin compatibility layer the CLI and sweep specs have always imported,
+now answering from the registry, so scenarios added with one decorator
+are immediately buildable everywhere.
+
+``WORKLOAD_NAMES`` and ``PRESET_WORKLOADS`` remain importable but are
+computed on attribute access (PEP 562), because the registry can grow
+at runtime. The registry import happens inside the accessors — never
+at module import — to keep ``repro.workloads`` -> ``repro.scenarios``
+-> workload modules acyclic.
 """
 
 from __future__ import annotations
 
-from repro.workloads.base import NullWorkload, Workload
-from repro.workloads.kafka import KafkaWorkload
-from repro.workloads.memcached import MemcachedWorkload
-from repro.workloads.mysql import MySqlWorkload
-
-#: Workload names accepted by :func:`build_workload` (and the CLI).
-WORKLOAD_NAMES = ("memcached", "mysql", "kafka", "idle")
-
-#: Workloads whose operating point is chosen by ``preset`` rather
-#: than an offered rate (drives CLI branching and sweep labelling).
-PRESET_WORKLOADS = ("mysql", "kafka")
+from repro.workloads.base import Workload
 
 
 def build_workload(name: str, qps: float = 0.0, preset: str = "low") -> Workload:
     """Instantiate a workload from its serializable description.
 
-    ``qps`` selects the offered rate for rate-driven workloads
-    (memcached); ``preset`` selects the operating point for the
-    preset-driven ones (mysql/kafka). A memcached rate of 0 is the
-    fully idle server.
+    ``name`` is a registered scenario; ``qps`` selects the offered
+    rate for rate-driven scenarios (0 = the fully idle server) and
+    ``preset`` the operating point for preset/trace-driven ones.
     """
-    if name == "memcached":
-        if qps == 0:
-            return NullWorkload()
-        return MemcachedWorkload(qps)
-    if name == "mysql":
-        return MySqlWorkload(preset)
-    if name == "kafka":
-        return KafkaWorkload(preset)
-    if name == "idle":
-        return NullWorkload()
-    raise KeyError(f"unknown workload {name!r}; have {WORKLOAD_NAMES}")
+    from repro.scenarios import registry
+
+    return registry.build(name, qps, preset)
+
+
+def workload_names() -> tuple[str, ...]:
+    """Every buildable name (all registered scenarios)."""
+    from repro.scenarios import registry
+
+    return registry.scenario_names()
+
+
+def preset_workload_names() -> tuple[str, ...]:
+    """Names whose operating point is chosen by ``preset``.
+
+    These drive CLI branching and sweep labelling: for everything
+    else the preset field is dead weight and stays out of cache keys.
+    """
+    from repro.scenarios import registry
+
+    return tuple(
+        scenario.name
+        for scenario in registry.all_scenarios()
+        if scenario.uses_preset
+    )
+
+
+def __getattr__(name: str):
+    """Back-compat: the historical tuple constants, served live."""
+    if name == "WORKLOAD_NAMES":
+        return workload_names()
+    if name == "PRESET_WORKLOADS":
+        return preset_workload_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

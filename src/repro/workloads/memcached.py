@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.sim.process import Delay, Process
-from repro.workloads.arrivals import GammaArrivals
+from repro.workloads.arrivals import ArrivalProcess, GammaArrivals
 from repro.workloads.base import InjectTarget, Request, Workload, workload_rng
 from repro.workloads.service import LoadCalibratedService
 
@@ -44,11 +44,21 @@ class MemcachedWorkload(Workload):
     VALUE_SIGMA = 1.0
     VALUE_CAP_BYTES = 100_000
 
-    def __init__(self, qps: float, arrival_shape: float | None = None):
+    def __init__(
+        self,
+        qps: float,
+        arrival_shape: float | None = None,
+        arrivals: ArrivalProcess | None = None,
+    ):
         if qps <= 0:
             raise ValueError(f"offered QPS must be positive, got {qps}")
+        if arrivals is not None and arrival_shape is not None:
+            raise ValueError("pass arrival_shape or arrivals, not both")
         self.qps = float(qps)
-        self.arrivals = GammaArrivals(
+        # An explicit arrival process (e.g. MMPP for diurnal scenarios)
+        # replaces the default Gamma stream; the ETC mix and occupancy
+        # calibration stay identical either way.
+        self.arrivals = arrivals if arrivals is not None else GammaArrivals(
             self.qps,
             self.ARRIVAL_SHAPE if arrival_shape is None else arrival_shape,
         )

@@ -1,0 +1,125 @@
+"""RPC fan-out microservice: cross-core wakeup coupling.
+
+None of the paper's three services couples cores to each other: every
+memcached GET, OLTP transaction or Kafka poll batch occupies exactly
+one core, so all-idle periods end one core-wakeup at a time. Real
+microservice tiers behave differently — a single inbound RPC fans out
+into parallel sub-requests that land on *several* cores at once, so
+one arrival can wake most of the package simultaneously and the
+all-idle signal collapses in a single step rather than eroding.
+
+That coupling is the stress case for a package-level idle state:
+entry opportunities are long (between fan-outs nothing runs) but
+exits are violent (many cores demand wakeup at once), which is where
+PC1A's parallel, hardware-only exit path matters most.
+
+The model: root RPCs arrive open-loop; each arrival injects
+``fanout`` sub-requests back-to-back at the same timestamp (the
+dispatcher spreads them over cores), then a short aggregation request
+after the expected sub-request completion — the "merge" phase of a
+scatter-gather tier.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay, Process
+from repro.units import US
+from repro.workloads.arrivals import ArrivalProcess, PoissonArrivals
+from repro.workloads.base import InjectTarget, Request, Workload, workload_rng
+from repro.workloads.service import ExponentialService
+
+
+class RpcFanoutWorkload(Workload):
+    """Scatter-gather RPC generator (one root -> N parallel subs)."""
+
+    name = "rpc-fanout"
+
+    #: Sub-requests issued per inbound RPC.
+    DEFAULT_FANOUT = 4
+    #: Mean occupancy of one sub-request.
+    SUB_MEAN_NS = 25 * US
+    #: Mean occupancy of the aggregation (merge) step.
+    MERGE_MEAN_NS = 10 * US
+
+    def __init__(
+        self,
+        qps: float,
+        fanout: int = DEFAULT_FANOUT,
+        arrivals: ArrivalProcess | None = None,
+    ):
+        if qps <= 0:
+            raise ValueError(f"offered QPS must be positive, got {qps}")
+        if fanout < 1:
+            raise ValueError(f"fanout must be at least 1, got {fanout}")
+        self.qps = float(qps)
+        self.fanout = int(fanout)
+        self.arrivals = arrivals if arrivals is not None else PoissonArrivals(
+            self.qps
+        )
+        self._sub = ExponentialService(self.SUB_MEAN_NS)
+        self._merge = ExponentialService(self.MERGE_MEAN_NS)
+
+    @property
+    def offered_qps(self) -> float:
+        """Total request rate (subs + merge) as seen by the server."""
+        return self.qps * (self.fanout + 1)
+
+    def expected_utilization(self, n_cores: int = 10) -> float:
+        """Model-predicted processor utilization at this rate."""
+        work_ns = self.fanout * self.SUB_MEAN_NS + self.MERGE_MEAN_NS
+        return self.qps * work_ns * 1e-9 / n_cores
+
+    def start(self, sim: Simulator, target: InjectTarget) -> None:
+        Process(sim, self._generate(sim, target), name="rpc-fanout-gen")
+
+    def _generate(self, sim: Simulator, target: InjectTarget):
+        rng = workload_rng(sim, self.name)
+        rpc_id = 0
+        while True:
+            yield Delay(self.arrivals.next_gap_ns(rng))
+            # Scatter: all sub-requests hit the NIC at one timestamp,
+            # so the dispatcher wakes several cores simultaneously.
+            subs = [
+                Request(
+                    kind=f"rpc{rpc_id}-sub",
+                    service_ns=self._sub.sample_ns(rng, self.qps),
+                    wire_bytes=256,
+                    response_bytes=1_024,
+                    dram_bytes=8_192,
+                )
+                for _ in range(self.fanout)
+            ]
+            for sub in subs:
+                target.inject(sub)
+            # Gather: the merge request lands once the slowest sub is
+            # expected to have finished (open-loop approximation of
+            # the response-joining thread's wakeup).
+            merge_lag_ns = max(sub.service_ns for sub in subs) + 2 * US
+            Process(
+                sim,
+                self._merge_later(target, rng, rpc_id, merge_lag_ns),
+                name=f"rpc{rpc_id}-merge",
+            )
+            rpc_id += 1
+
+    def _merge_later(self, target, rng, rpc_id: int, lag_ns: int):
+        yield Delay(lag_ns)
+        target.inject(
+            Request(
+                kind=f"rpc{rpc_id}-merge",
+                service_ns=self._merge.sample_ns(rng, self.qps),
+                wire_bytes=128,
+                response_bytes=4_096,
+                dram_bytes=16_384,
+            )
+        )
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "root_qps": self.qps,
+            "fanout": self.fanout,
+            "offered_qps": self.offered_qps,
+            "expected_utilization": self.expected_utilization(),
+        }

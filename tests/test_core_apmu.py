@@ -9,7 +9,6 @@ the Sec. 5.5 analytical model exactly.
 
 import pytest
 
-from _machines import build_machine
 from repro.core.latency import Pc1aLatencyModel
 from repro.soc.cpu import Job
 from repro.soc.package import PackageCState

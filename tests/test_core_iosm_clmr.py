@@ -2,7 +2,6 @@
 
 import pytest
 
-from _machines import build_machine
 from repro.core.area import SkxAreaModel
 from repro.core.clmr import ClmrController, ClmrError
 from repro.core.iosm import IosmController

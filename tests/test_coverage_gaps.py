@@ -140,7 +140,7 @@ class TestCliCompareAndWorkloads:
         lines = out.read_text().splitlines()
         assert lines[0].startswith("offered_qps,config,")
         assert len(lines) == 1 + 4  # header + 2 rates x 2 configs
-        idle_apc = [l for l in lines if l.startswith("0.0,CPC1A")][0]
+        idle_apc = [line for line in lines if line.startswith("0.0,CPC1A")][0]
         assert ",29.1" in idle_apc  # Table 1's PC1A total power
 
     def test_export_rejects_empty_rates(self, tmp_path):

@@ -7,7 +7,7 @@ import pytest
 from repro.analysis.cluster import FleetModel, PowerCurve, fleet_savings_percent
 from repro.cli import main as cli_main
 from repro.power.budgets import CorePowerSpec
-from repro.server.configs import MachineConfig, cpc1a
+from repro.server.configs import cpc1a
 from repro.server.experiment import run_experiment
 from repro.server.machine import ServerMachine
 from repro.server.ticks import OsTimerTicks

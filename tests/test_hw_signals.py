@@ -48,7 +48,10 @@ class TestSignal:
     def test_unwatch_removes_watcher(self):
         s = Signal("s")
         seen = []
-        fn = lambda sig, old, new: seen.append(new)
+
+        def fn(sig, old, new):
+            seen.append(new)
+
         s.watch(fn)
         s.unwatch(fn)
         s.set(True)

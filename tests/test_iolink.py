@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.iolink.link import IoLink, LinkError, make_link
-from repro.iolink.lstates import LSTATE_BY_NAME, PCIE_TIMINGS, UPI_TIMINGS, LinkTimings
+from repro.iolink.link import LinkError, make_link
+from repro.iolink.lstates import LSTATE_BY_NAME, PCIE_TIMINGS, UPI_TIMINGS
 from repro.iolink.ltssm import Ltssm, LtssmError
 from repro.power.budgets import PCIE_POWER
 from repro.power.meter import PowerMeter

@@ -20,7 +20,7 @@ from repro.server.configs import cpc1a
 from repro.server.experiment import run_experiment
 from repro.server.stats import MachineStats
 from repro.server.ticks import OsTimerTicks
-from repro.sim import Delay, Interrupt, Process, Simulator, WaitEvent
+from repro.sim import Delay, Interrupt, Process, WaitEvent
 from repro.sim.engine import COMPACTION_MIN_CANCELLED, SimulationError
 from repro.sim.timers import PeriodicTimer, RestartableTimeout
 from repro.sweep import SweepSpec, memcached_points, run_sweep

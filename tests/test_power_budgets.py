@@ -9,10 +9,8 @@ from repro.power.budgets import (
     DEFAULT_BUDGET,
     DMI_POWER,
     DramPowerSpec,
-    LinkPowerSpec,
     MemoryControllerPowerSpec,
     PCIE_POWER,
-    SkxPowerBudget,
     UPI_POWER,
 )
 

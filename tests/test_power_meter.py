@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.power.meter import PowerMeter
 from repro.power.residency import ResidencyCounter
-from repro.units import S, US
+from repro.units import S
 
 
 class TestPowerChannel:

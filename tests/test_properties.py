@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on kernel and hardware invariants."""
 
-import heapq
 
 import pytest
 from hypothesis import given, settings, strategies as st

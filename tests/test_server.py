@@ -2,7 +2,6 @@
 
 import pytest
 
-from _machines import build_machine
 from repro.server.configs import MachineConfig, cdeep, config_by_name, cpc1a, cshallow
 from repro.server.dispatch import Dispatcher
 from repro.server.experiment import run_experiment

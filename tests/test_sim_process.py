@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Delay, Interrupt, Process, Simulator, WaitEvent
+from repro.sim import Delay, Interrupt, Process, WaitEvent
 from repro.sim.engine import SimulationError
 from repro.sim.timers import PeriodicTimer, RestartableTimeout
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.power.budgets import CorePowerSpec
 from repro.power.meter import PowerMeter
-from repro.sim import Simulator
 from repro.soc.cpu import Core, CoreError, Job
 from repro.soc.cstates import CC1, CC1E, CC6
 from repro.soc.governors import (

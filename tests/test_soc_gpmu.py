@@ -2,7 +2,6 @@
 
 import pytest
 
-from _machines import build_machine
 from repro.soc.cpu import Job
 from repro.soc.package import PackageCState, StaticPc0Controller
 from repro.units import MS, US

@@ -10,7 +10,6 @@ from _machines import build_machine
 from repro.soc.cpu import Job
 from repro.soc.package import PackageCState
 from repro.units import MS, US
-from repro.workloads.base import Request
 
 
 def drive(machine, ns):

@@ -43,7 +43,10 @@ class TestArrivalProcesses:
     def test_gamma_shape_controls_burstiness(self):
         bursty = [GammaArrivals(1_000, 0.5).next_gap_ns(RNG) for _ in range(20_000)]
         regular = [GammaArrivals(1_000, 5.0).next_gap_ns(RNG) for _ in range(20_000)]
-        cv = lambda xs: np.std(xs) / np.mean(xs)
+
+        def cv(xs):
+            return np.std(xs) / np.mean(xs)
+
         assert cv(bursty) > 1.2
         assert cv(regular) < 0.6
 
