@@ -31,10 +31,16 @@ The scenarios (documented in benchmarks/README.md):
 
 from __future__ import annotations
 
-import json
 import time
 
-from _common import RESULTS_DIR, save_report
+from _common import (
+    RESULTS_DIR,
+    append_trajectory,
+    check_rate_regression,
+    last_comparable_run as _last_comparable_run,
+    load_trajectory as _load_trajectory,
+    save_report,
+)
 from repro.server.configs import cpc1a
 from repro.server.experiment import run_experiment
 from repro.sim.engine import Simulator
@@ -163,44 +169,22 @@ def run_suite(repeats: int = DEFAULT_REPEATS) -> dict:
 
 def load_trajectory(path) -> dict:
     """Read a BENCH_kernel.json file ({"schema", "runs": [...]})."""
-    with open(path) as handle:
-        data = json.load(handle)
-    if "runs" not in data or not isinstance(data["runs"], list):
-        raise ValueError(f"{path} is not a BENCH_kernel trajectory")
-    return data
+    return _load_trajectory(path)
 
 
 def last_comparable_run(trajectory: dict) -> dict | None:
-    """The trajectory's newest run with the current scenario schema.
-
-    Runs recorded under a different ``BENCH_SCHEMA`` measured
-    different scenario definitions; comparing events/sec across them
-    would make the regression gate meaningless.
-    """
-    for run in reversed(trajectory["runs"]):
-        if run.get("schema") == BENCH_SCHEMA:
-            return run
-    return None
+    """The trajectory's newest run with the current scenario schema."""
+    return _last_comparable_run(trajectory, BENCH_SCHEMA)
 
 
 def check_regression(
     run: dict, baseline_run: dict, max_regression: float, scenarios=("pure_kernel",)
 ) -> list[str]:
     """Scenario names whose events/sec fell more than the budget."""
-    failures = []
-    for name in scenarios:
-        base = baseline_run["scenarios"].get(name)
-        fresh = run["scenarios"].get(name)
-        if base is None or fresh is None:
-            continue
-        floor = base["events_per_sec"] * (1.0 - max_regression)
-        if fresh["events_per_sec"] < floor:
-            failures.append(
-                f"{name}: {fresh['events_per_sec']:,.0f} ev/s < floor "
-                f"{floor:,.0f} (baseline {base['events_per_sec']:,.0f}, "
-                f"budget -{max_regression:.0%})"
-            )
-    return failures
+    return check_rate_regression(
+        run, baseline_run, max_regression, scenarios,
+        rate_key="events_per_sec", unit="ev/s",
+    )
 
 
 def main(argv=None) -> int:
@@ -238,8 +222,10 @@ def main(argv=None) -> int:
     if args.baseline is not None:
         try:
             baseline = load_trajectory(args.baseline)
-        except FileNotFoundError:
-            print(f"ERROR baseline {args.baseline} does not exist")
+        except (OSError, ValueError) as error:
+            # Missing, unreadable or non-trajectory JSON: one clean
+            # line and a failing gate, not a traceback.
+            print(f"ERROR baseline {args.baseline} is unusable: {error}")
             return 1
         baseline_run = last_comparable_run(baseline)
         if baseline_run is None:
@@ -253,22 +239,7 @@ def main(argv=None) -> int:
     for name, entry in sorted(run["scenarios"].items()):
         print(f"{name:>14}: {entry['events_per_sec']:>12,.0f} events/s")
 
-    # Appending is the default: the trajectory exists to accumulate
-    # cross-PR history, so re-running the documented command must not
-    # silently erase it.
-    trajectory = {"schema": BENCH_SCHEMA, "runs": []}
-    if not args.replace:
-        try:
-            trajectory = load_trajectory(args.out)
-        except (OSError, ValueError):
-            pass
-    trajectory["schema"] = BENCH_SCHEMA  # newest run's definitions
-    trajectory["runs"].append(run)
-    from pathlib import Path
-
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(trajectory, indent=1, sort_keys=True) + "\n")
+    out = append_trajectory(args.out, run, BENCH_SCHEMA, replace=args.replace)
     print(f"[trajectory written to {out}]")
 
     if baseline_run is not None:

@@ -24,7 +24,7 @@ import argparse
 
 from repro.analysis import format_table
 from repro.analysis.cluster import FleetModel, PowerCurve, fleet_savings_percent
-from repro.sweep import SweepSpec, WorkloadPoint, run_sweep
+from repro.sweep import SweepSession, SweepSpec, WorkloadPoint
 from repro.units import MS
 
 SWEEP_QPS = (10_000, 40_000, 100_000, 300_000, 700_000)
@@ -67,7 +67,10 @@ def main(argv=None) -> None:
     spec = SweepSpec(
         workloads=curve_points(rates), configs=configs, seeds=seeds
     )
-    results = run_sweep(spec, workers=args.workers or None)
+    # One persistent session: the pool forks once and each worker
+    # recycles a warm machine per config across the whole grid.
+    with SweepSession(workers=args.workers or None) as session:
+        results = session.run(spec)
     print(f"swept {len(spec)} machine-configuration cells in parallel\n")
 
     base_curve = curve_for(results, "Cshallow", rates, seeds[0])

@@ -39,7 +39,10 @@ Scenarios
     python -m repro sweep --scenario replay --trace traces/prod.csv
 
 ``--stats-json`` writes a machine-readable run summary (cells, cache
-hits/misses, rows) for CI assertions.
+hits/misses, rows) for CI assertions. ``--progress``/``--no-progress``
+controls the throttled per-cell progress lines on stderr (default:
+only when stderr is a TTY; at most ~1 line per second however wide
+the grid is).
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ import argparse
 import csv
 import json
 import sys
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
@@ -62,7 +66,8 @@ from repro.server.experiment import ExperimentResult, run_experiment
 from repro.sweep import (
     ExperimentSpec,
     ResultStore,
-    SweepRunner,
+    StreamingCsvWriter,
+    SweepSession,
     SweepSpec,
     WorkloadPoint,
     default_workers,
@@ -78,6 +83,70 @@ from repro.workloads.factory import build_workload, workload_names
 #: grid narrows them.
 DEFAULT_RATES = "0,4000,10000,25000,50000,100000"
 DEFAULT_PRESETS = "low,high"
+
+
+class ThrottledProgress:
+    """Per-cell progress lines, throttled for wide grids.
+
+    Unthrottled per-cell printing measurably drags sweeps whose cells
+    finish every few milliseconds, so a line is emitted at most about
+    once per second (or every ``stride``-th cell, whichever comes
+    first) plus a final line for the last cell. The cell label is only
+    rendered when a line is actually printed.
+    """
+
+    def __init__(self, total: int, stream=None, min_interval_s: float = 1.0,
+                 stride: int = 100):
+        self.total = total
+        self.count = 0
+        self.emitted = 0
+        self._stream = sys.stderr if stream is None else stream
+        self._min_interval_s = min_interval_s
+        self._stride = max(1, stride)
+        # -inf, not 0: time.monotonic() is time since boot, so a zero
+        # sentinel would swallow the first line on a freshly booted
+        # machine whose uptime is below the throttle interval.
+        self._last_emit = float("-inf")
+
+    def __call__(self, cell: ExperimentSpec) -> None:
+        self.count += 1
+        now = time.monotonic()
+        if (
+            now - self._last_emit < self._min_interval_s
+            and self.count % self._stride != 0
+            and self.count != self.total
+        ):
+            return
+        self._last_emit = now
+        self.emitted += 1
+        print(f"[{self.count}/{self.total}] {cell.label()}",
+              file=self._stream, flush=True)
+
+
+def _progress_for(args: argparse.Namespace, total: int) -> ThrottledProgress | None:
+    """The sweep progress callback implied by --progress/--no-progress.
+
+    The default (no flag) shows progress only on interactive runs:
+    piping a sweep into a file or CI log should not interleave
+    thousands of progress lines with the results.
+    """
+    enabled = args.progress
+    if enabled is None:
+        enabled = sys.stderr.isatty()
+    return ThrottledProgress(total) if enabled else None
+
+
+def _add_progress_flag(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--progress", action="store_true", default=None, dest="progress",
+        help="print throttled per-cell progress to stderr "
+             "(default: only when stderr is a TTY)",
+    )
+    group.add_argument(
+        "--no-progress", action="store_false", dest="progress",
+        help="suppress per-cell progress output",
+    )
 
 
 def _resolve_workers(workers: int) -> int:
@@ -285,7 +354,10 @@ def cmd_export(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid export grid: {error}") from None
     workers = _resolve_workers(args.workers)
     store = ResultStore(args.store) if args.store else None
-    results = SweepRunner(cells, store=store, workers=workers).run()
+    with SweepSession(workers=workers) as session:
+        results = session.run(
+            cells, store=store, progress=_progress_for(args, len(cells))
+        )
     rows = []
     for cell, result in zip(results.cells, results.results):
         row = flatten_result(result)
@@ -379,8 +451,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid sweep grid: {error}") from None
     workers = _resolve_workers(args.workers)
     store = ResultStore(args.store) if args.store else None
-    results = SweepRunner(spec, store=store, workers=workers).run()
-    count = results.write_csv(args.out)
+    # Stream rows as cells complete (in deterministic cell order, so
+    # the CSV is byte-identical to a buffered write) instead of
+    # holding the whole grid's results before the first row lands.
+    with SweepSession(workers=workers) as session, \
+            StreamingCsvWriter(args.out) as writer:
+        results = session.run(
+            spec,
+            store=store,
+            progress=_progress_for(args, len(spec)),
+            on_result=lambda cell, result, cached: writer.write(result, spec=cell),
+        )
+        count = writer.rows
     print(
         f"swept {len(spec)} cells on {workers} worker(s); "
         f"{results.cache_hits} cache hit(s)"
@@ -507,6 +589,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                                help="worker processes (0 = one per core)")
     export_parser.add_argument("--store", default=None,
                                help="result-cache directory (optional)")
+    _add_progress_flag(export_parser)
     export_parser.set_defaults(fn=cmd_export)
 
     sweep_parser = sub.add_parser(
@@ -561,6 +644,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--stats-json", default=None,
         help="write machine-readable run stats (cells, cache hits) here",
     )
+    _add_progress_flag(sweep_parser)
     sweep_parser.set_defaults(fn=cmd_sweep)
 
     scenarios_parser = sub.add_parser(

@@ -24,6 +24,7 @@ from repro.power.rapl import RaplInterface
 from repro.server.configs import MachineConfig
 from repro.server.dispatch import Dispatcher
 from repro.server.nic import Nic
+from repro.server.recycle import MachineCheckpoint
 from repro.server.stats import LatencyRecorder, MachineStats
 from repro.server.ticks import OsTimerTicks
 from repro.sim.engine import Simulator
@@ -146,6 +147,44 @@ class ServerMachine:
         self.active_sampler = ActiveAfterIdleSampler(
             self.sim, self.all_idle, self.cores
         )
+
+    # -- warm reuse --------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Capture the just-built state so the machine can be recycled.
+
+        Must be called before the simulation runs (the capture replays
+        construction-time events on restore). Raises
+        :class:`~repro.server.recycle.CheckpointError` for machines
+        whose state cannot be snapshotted faithfully — e.g. configs
+        with OS timer ticks armed at construction; callers treat those
+        as non-recyclable and rebuild per cell.
+        """
+        self._checkpoint = MachineCheckpoint(self)
+
+    def recycle(self, config: MachineConfig, seed: int) -> None:
+        """Rewind to the checkpointed fresh state under a new seed.
+
+        The recycled machine is byte-identical to
+        ``ServerMachine(config, seed)`` (pinned by the recycle-vs-fresh
+        golden tests): same component state, same construction event
+        queue, same kernel counters — only the allocations are reused.
+        """
+        checkpoint = getattr(self, "_checkpoint", None)
+        if checkpoint is None:
+            raise RuntimeError(
+                "recycle() needs a checkpoint; call checkpoint() on the "
+                "freshly built machine first"
+            )
+        if config != self.config:
+            raise ValueError(
+                f"machine was built for config {self.config.name!r}; "
+                f"it cannot be recycled into {config.name!r}"
+            )
+        checkpoint.restore(seed)
+        # The restore pass rebuilds this object's __dict__ from the
+        # captured (checkpoint-free) snapshot; re-attach the handle so
+        # the machine stays recyclable.
+        self._checkpoint = checkpoint
 
     # -- request path ------------------------------------------------------
     def inject(self, request: Request) -> None:

@@ -1,0 +1,258 @@
+"""Machine checkpoint/restore: the warm-machine sweep path.
+
+Building a :class:`~repro.server.machine.ServerMachine` costs roughly
+as much as simulating a short idle cell: most of the time goes into
+*structural* work — allocating a few hundred model objects, wiring
+signal watch lists, registering power channels — that is identical for
+every cell sharing a config. :class:`MachineCheckpoint` separates that
+structure from the (much smaller) mutable state: it walks the object
+graph of a freshly built machine, records every attribute value, and
+can later restore the graph to exactly that state without re-running
+any of the wiring.
+
+Byte-identical determinism is the contract (pinned by the
+recycle-vs-fresh golden tests): a recycled machine must be
+indistinguishable from a fresh build, event for event. Three
+mechanisms guarantee it:
+
+* **In-place container restoration.** Lists/dicts/sets/deques are
+  refilled (``lst[:] = ...``), never replaced, so every alias taken at
+  construction time — ``Dispatcher.cores`` is the same list object as
+  ``ServerMachine.cores`` — survives; attributes whose container was
+  swapped wholesale during a run (``_wake_waiters``) are pointed back
+  at the original. Tuples need no rebuilding: they are immutable, so
+  the captured reference stays valid while any container *inside* one
+  is refilled separately.
+* **Attribute-set restoration.** Each object's ``__dict__`` is cleared
+  and refilled from the snapshot, so attributes added during a run
+  vanish and removed ones reappear — the restored key set matches
+  capture exactly.
+* **Construction-event replay.** Events scheduled during ``__init__``
+  (each core's initial settle-into-idle) are recorded in sequence
+  order and re-scheduled after :meth:`Simulator.reset`, so they get
+  the same ``(time, seq)`` identities — and therefore the same firing
+  order — as on a fresh machine.
+
+The capture pass compiles all of this into a flat plan (dict
+snapshots, slot lists, container refill ops), so a restore is a short
+loop of C-level operations — several times cheaper than rebuilding
+the machine.
+
+The walker is deliberately *loud*: a state value it cannot faithfully
+snapshot (a live :class:`~repro.sim.engine.Event` reference, an
+unknown mutable type) raises :class:`CheckpointError` at capture time
+instead of silently corrupting later runs. Callers treat that as
+"this machine is not recyclable" and fall back to fresh builds —
+e.g. configs with OS timer ticks enabled, whose staggered arm events
+are held by :class:`~repro.server.ticks.OsTimerTicks`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Any
+
+from repro.sim.engine import Event, Simulator
+
+#: Immutable value types snapshotted by reference. ``str``-based enums
+#: (e.g. ``DramPowerMode``) are covered by ``str``.
+_SCALARS = (type(None), bool, int, float, str, bytes, complex)
+
+#: Types allowed as dict keys / set elements (must be immutable).
+_IMMUTABLE_KEYS = _SCALARS + (tuple, frozenset, Enum)
+
+# Container refill tags.
+_LIST, _DICT, _SET, _DEQUE = range(4)
+
+
+class CheckpointError(RuntimeError):
+    """The machine's state cannot be captured faithfully."""
+
+
+def _is_repro_object(value: Any) -> bool:
+    module = type(value).__module__ or ""
+    return module == "repro" or module.startswith("repro.")
+
+
+def _slot_names(cls: type) -> list[str]:
+    names: list[str] = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if name not in ("__dict__", "__weakref__"):
+                names.append(name)
+    return names
+
+
+class MachineCheckpoint:
+    """A restorable snapshot of one machine's mutable state.
+
+    Capture must happen on a *freshly built* machine — before any
+    event has fired — because restoration replays the construction
+    event queue verbatim.
+    """
+
+    #: Root-object attributes never captured (the machine's own
+    #: checkpoint handle must survive a restore).
+    _EXCLUDED_ROOT_ATTRS = frozenset({"_checkpoint"})
+
+    def __init__(self, machine: Any):
+        sim: Simulator = machine.sim
+        if sim.now != 0 or sim.events_processed != 0:
+            raise CheckpointError(
+                "checkpoint requires a freshly built machine "
+                f"(now={sim.now}, events_processed={sim.events_processed})"
+            )
+        self._machine = machine
+        # Construction-time events, in sequence (= scheduling) order.
+        entries = sorted(sim._queue)
+        self._replay = [
+            (time_ns, event.fn, event.args)
+            for time_ns, _seq, event in entries
+            if not event.cancelled
+        ]
+        if len(self._replay) != sim.events_scheduled:
+            raise CheckpointError(
+                "construction scheduled events that already fired or "
+                "were cancelled; the queue cannot be replayed faithfully"
+            )
+        # The compiled restore plan.
+        self._dict_plans: list[tuple[dict, dict]] = []
+        self._slot_plans: list[tuple[Any, list, tuple[str, ...]]] = []
+        self._refills: list[tuple[int, Any, Any]] = []
+        self._capture_graph(machine)
+
+    # -- capture -----------------------------------------------------------
+    def _capture_graph(self, root: Any) -> None:
+        pending = [root]
+        seen = {id(root)}
+        while pending:
+            obj = pending.pop()
+            to_walk: list[Any] = []
+            instance_dict = getattr(obj, "__dict__", None)
+            if instance_dict is not None:
+                snapshot = {}
+                for name, value in instance_dict.items():
+                    if obj is root and name in self._EXCLUDED_ROOT_ATTRS:
+                        continue
+                    self._register_value(value, to_walk)
+                    snapshot[name] = value
+                self._dict_plans.append((instance_dict, snapshot))
+            slot_values = []
+            unset_slots = []
+            for name in _slot_names(type(obj)):
+                try:
+                    value = getattr(obj, name)
+                except AttributeError:
+                    unset_slots.append(name)
+                    continue
+                self._register_value(value, to_walk)
+                slot_values.append((name, value))
+            if slot_values or unset_slots:
+                self._slot_plans.append((obj, slot_values, tuple(unset_slots)))
+            for child in to_walk:
+                if id(child) not in seen:
+                    seen.add(id(child))
+                    pending.append(child)
+
+    def _register_value(self, value: Any, to_walk: list) -> None:
+        """Validate ``value`` and register any containers for refill.
+
+        The captured *reference* is always the value itself (container
+        identities are stable across restores); this pass records what
+        each container must be refilled with and which repro objects
+        still need their own snapshot.
+        """
+        if isinstance(value, _SCALARS):
+            return
+        if isinstance(value, Event):
+            raise CheckpointError(
+                "cannot checkpoint a live Event reference; the owning "
+                "component must not hold scheduled events at construction"
+            )
+        if isinstance(value, tuple):
+            for item in value:
+                self._register_value(item, to_walk)
+            return
+        if isinstance(value, list):
+            for item in value:
+                self._register_value(item, to_walk)
+            self._refills.append((_LIST, value, list(value)))
+            return
+        if isinstance(value, dict):
+            for key, item in value.items():
+                if not isinstance(key, _IMMUTABLE_KEYS):
+                    raise CheckpointError(
+                        f"unsupported dict key type {type(key).__name__!r}"
+                    )
+                self._register_value(item, to_walk)
+            self._refills.append((_DICT, value, dict(value)))
+            return
+        if isinstance(value, set):
+            for item in value:
+                if not isinstance(item, _IMMUTABLE_KEYS):
+                    raise CheckpointError(
+                        f"unsupported set element type {type(item).__name__!r}"
+                    )
+            self._refills.append((_SET, value, frozenset(value)))
+            return
+        if isinstance(value, deque):
+            for item in value:
+                self._register_value(item, to_walk)
+            self._refills.append((_DEQUE, value, tuple(value)))
+            return
+        if _is_repro_object(value) and not isinstance(value, (Simulator, Enum)):
+            # Repro component state is walked — before the callable
+            # check, so a component that happens to define __call__ is
+            # still captured rather than silently skipped. Frozen
+            # dataclasses are walked too: frozen only blocks attribute
+            # rebinding, so a mutable field value (or an exotic type)
+            # must still be captured — or loudly refused — like any
+            # other state.
+            to_walk.append(value)
+            return
+        if isinstance(value, (Simulator, Enum)) or callable(value):
+            # Reference leaves: shared infrastructure, immutable
+            # singletons, and plain functions/bound methods — which
+            # keep pointing at the reused (restored) objects.
+            return
+        raise CheckpointError(
+            f"cannot checkpoint a value of type {type(value).__name__!r}; "
+            "teach repro.server.recycle about it (or mark the machine "
+            "non-recyclable)"
+        )
+
+    # -- restore -----------------------------------------------------------
+    def restore(self, seed: int) -> None:
+        """Rewind the machine to its captured state under ``seed``."""
+        sim: Simulator = self._machine.sim
+        sim.reset(seed)
+        for instance_dict, snapshot in self._dict_plans:
+            instance_dict.clear()
+            instance_dict.update(snapshot)
+        for obj, slot_values, unset_slots in self._slot_plans:
+            for name, value in slot_values:
+                setattr(obj, name, value)
+            for name in unset_slots:
+                try:
+                    delattr(obj, name)
+                except AttributeError:
+                    pass
+        for tag, original, payload in self._refills:
+            if tag == _LIST:
+                original[:] = payload
+            elif tag == _DICT:
+                original.clear()
+                original.update(payload)
+            elif tag == _SET:
+                original.clear()
+                original.update(payload)
+            else:  # _DEQUE
+                original.clear()
+                original.extend(payload)
+        schedule_at = sim.schedule_at
+        for time_ns, fn, args in self._replay:
+            schedule_at(time_ns, fn, *args)

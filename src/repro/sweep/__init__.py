@@ -14,7 +14,11 @@ this package turns "one figure" into data:
 - :class:`SweepSpec` expands deterministically into
   :class:`ExperimentSpec` cells (plain, picklable data);
 - :class:`SweepRunner` fans cells out over a multiprocessing pool —
-  each worker builds its own machine, so parallel == serial bit-for-bit;
+  each worker owns (and recycles) its machines, so parallel == serial
+  bit-for-bit;
+- :class:`SweepSession` keeps the pool and the workers' warm machines
+  alive across runs (the high-throughput entry point for benchmarks
+  and the CLI);
 - :class:`ResultStore` caches results under content-hash keys, making
   re-runs of unchanged cells instant;
 - :func:`aggregate_over_seeds` folds per-seed repeats into mean/CI.
@@ -33,6 +37,11 @@ from repro.sweep.runner import (
     run_cell,
     run_sweep,
 )
+from repro.sweep.session import (
+    SweepCellError,
+    SweepSession,
+    recycling_enabled,
+)
 from repro.sweep.spec import (
     ExperimentSpec,
     SweepSpec,
@@ -46,6 +55,7 @@ from repro.sweep.store import (
     CSV_COLUMNS,
     MemoryStore,
     ResultStore,
+    StreamingCsvWriter,
     flatten_result,
     result_from_dict,
     result_to_dict,
@@ -60,8 +70,11 @@ __all__ = [
     "MemoryStore",
     "MetricStats",
     "ResultStore",
+    "StreamingCsvWriter",
+    "SweepCellError",
     "SweepResults",
     "SweepRunner",
+    "SweepSession",
     "SweepSpec",
     "WorkloadPoint",
     "aggregate_over_seeds",
@@ -70,6 +83,7 @@ __all__ = [
     "flatten_result",
     "memcached_points",
     "preset_points",
+    "recycling_enabled",
     "result_from_dict",
     "result_to_dict",
     "run_cell",

@@ -1,22 +1,27 @@
 """Parallel execution of sweep grids.
 
-Experiments are embarrassingly parallel: every cell builds its own
-:class:`ServerMachine` from plain data, so the runner can fan cells
-out over a ``multiprocessing`` pool with no shared state. Determinism
-is preserved by construction — a cell's result depends only on its
-:class:`ExperimentSpec`, never on scheduling — so parallel runs are
-bit-identical to serial ones and safe to mix with cache hits.
+Experiments are embarrassingly parallel: every cell is plain data
+(:class:`ExperimentSpec`), so the runner can fan cells out over a
+``multiprocessing`` pool with no shared state. Determinism is
+preserved by construction — a cell's result depends only on its spec,
+never on scheduling — so parallel runs are bit-identical to serial
+ones and safe to mix with cache hits and recycled worker machines.
+
+Execution lives in :class:`~repro.sweep.session.SweepSession`
+(persistent pool, warm machines, batched dispatch, streaming);
+:class:`SweepRunner` is the one-grid convenience wrapper around a
+session, kept as the stable entry point for callers that run a single
+grid.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import sys
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from repro.server.experiment import ExperimentResult, run_experiment
 from repro.sweep.aggregate import CellAggregate, aggregate_over_seeds
+from repro.sweep.session import SweepSession
 from repro.sweep.spec import ExperimentSpec, SweepSpec
 from repro.sweep.store import write_csv
 
@@ -130,6 +135,10 @@ class SweepRunner:
     workers:
         Pool size. 1 (the default) runs serially in-process; results
         are identical either way.
+    session:
+        Optional :class:`~repro.sweep.session.SweepSession` to run on
+        (its pool and warm machines are reused, and it stays open).
+        Without one, an ephemeral session is created per :meth:`run`.
     """
 
     def __init__(
@@ -137,63 +146,31 @@ class SweepRunner:
         spec: SweepSpec | Sequence[ExperimentSpec],
         store=None,
         workers: int = 1,
+        session: SweepSession | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.cells = spec.cells() if isinstance(spec, SweepSpec) else list(spec)
         self.store = store
         self.workers = workers
+        self.session = session
 
     def run(self, progress: Callable[[str], None] | None = None) -> SweepResults:
         """Run every cell; returns results in deterministic cell order."""
-        by_key: dict[str, ExperimentResult] = {}
-        pending_by_key: dict[str, ExperimentSpec] = {}
-        cache_hits = 0
-        for cell in self.cells:
-            key = cell.key()
-            if key in by_key or key in pending_by_key:
-                continue  # duplicate cell in the grid
-            cached = self.store.get(key) if self.store is not None else None
-            if cached is not None:
-                by_key[key] = cached
-                cache_hits += 1
-            else:
-                pending_by_key[key] = cell
-        pending = list(pending_by_key.values())
-        for key, result in self._execute(pending, progress):
-            by_key[key] = result
-            if self.store is not None:
-                self.store.put(key, result, spec=pending_by_key[key])
-        ordered = [by_key[cell.key()] for cell in self.cells]
-        return SweepResults(self.cells, ordered, cache_hits=cache_hits)
-
-    def _execute(
-        self,
-        pending: Sequence[ExperimentSpec],
-        progress: Callable[[str], None] | None,
-    ) -> Iterable[tuple[str, ExperimentResult]]:
-        if not pending:
-            return
-        workers = min(self.workers, len(pending))
-        if workers == 1:
-            for cell in pending:
-                if progress is not None:
-                    progress(cell.label())
-                yield _run_cell_keyed(cell)
-            return
-        # fork is cheapest and safe on Linux; elsewhere (macOS lists
-        # fork as available but it is unsafe with threaded BLAS) use
-        # spawn, the platform default.
-        ctx = multiprocessing.get_context(
-            "fork" if sys.platform.startswith("linux") else "spawn"
-        )
-        with ctx.Pool(processes=workers) as pool:
-            for index, (key, result) in enumerate(
-                pool.imap(_run_cell_keyed, pending)
-            ):
-                if progress is not None:
-                    progress(pending[index].label())
-                yield key, result
+        # Historical contract: progress callbacks receive the cell's
+        # human label (sessions hand their callbacks the spec itself).
+        on_progress = None
+        if progress is not None:
+            on_progress = lambda cell: progress(cell.label())  # noqa: E731
+        if self.session is not None:
+            return self.session.run(
+                self.cells, store=self.store, progress=on_progress
+            )
+        with SweepSession(workers=self.workers) as session:
+            # The session forks its pool lazily, sized to the cells
+            # actually pending after the cache pre-pass — a 2-cell (or
+            # fully cached) grid never pays a per-core pool spin-up.
+            return session.run(self.cells, store=self.store, progress=on_progress)
 
 
 def run_sweep(
@@ -201,9 +178,13 @@ def run_sweep(
     store=None,
     workers: int | None = None,
     progress: Callable[[str], None] | None = None,
+    session: SweepSession | None = None,
 ) -> SweepResults:
     """One-call convenience: build a runner and run the grid."""
     runner = SweepRunner(
-        spec, store=store, workers=default_workers() if workers is None else workers
+        spec,
+        store=store,
+        workers=default_workers() if workers is None else workers,
+        session=session,
     )
     return runner.run(progress=progress)

@@ -1,0 +1,395 @@
+"""Persistent sweep execution sessions.
+
+PR 1 gave sweeps a worker pool; PR 3 multiplied the number of cells a
+run sweeps. At that scale the orchestration loop itself becomes the
+bottleneck for short cells: a cold ``multiprocessing.Pool`` per
+``run()`` call, a fresh :class:`~repro.server.machine.ServerMachine`
+object graph per cell, and chunksize-1 ordered ``imap`` dispatch all
+charge fixed costs that rival the simulation time of an idle cell.
+
+:class:`SweepSession` owns those fixed costs once:
+
+* a **persistent worker pool**, created lazily and reused across
+  ``run()`` calls (and across benchmark invocations through
+  ``benchmarks/_common.py``);
+* **warm machines** — each worker keeps one machine per config and
+  recycles it (:meth:`ServerMachine.recycle`) instead of rebuilding
+  the component graph per cell; recycled runs are byte-identical to
+  fresh builds (pinned by the recycle-vs-fresh golden tests), and
+  configs whose state cannot be checkpointed fall back to fresh
+  builds automatically;
+* **batched unordered dispatch** — cells ship in chunks over
+  ``imap_unordered``; the deterministic cell order of the returned
+  :class:`SweepResults` is reconstructed from cache keys, so results
+  stay bit-identical to serial runs;
+* **streaming** — store records are written as results arrive (by the
+  worker itself for disk stores, so cached results never cross the
+  IPC boundary), and the optional ``on_result`` callback sees
+  finished cells in deterministic cell order without waiting for the
+  whole grid.
+
+Set ``REPRO_SWEEP_RECYCLE=0`` to disable machine recycling (every
+cell builds fresh; useful for A/B measurements and as an escape
+hatch).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from time import perf_counter, process_time
+from typing import Callable, Sequence
+
+from repro.server.experiment import ExperimentResult, run_experiment
+from repro.server.machine import ServerMachine
+from repro.server.recycle import CheckpointError
+from repro.sweep.spec import ExperimentSpec, SweepSpec
+from repro.sweep.store import ResultStore
+
+
+class SweepCellError(RuntimeError):
+    """A sweep cell failed; the message names the offending cell.
+
+    Raised in place of the worker's bare exception so a failure deep
+    inside a pool names its config/scenario/rate/seed instead of only
+    a traceback from an anonymous process.
+    """
+
+
+def recycling_enabled() -> bool:
+    """Whether workers reuse machines (``REPRO_SWEEP_RECYCLE`` != 0)."""
+    return os.environ.get("REPRO_SWEEP_RECYCLE", "1") != "0"
+
+
+# -- per-process worker state -------------------------------------------------
+#: One warm machine per config name (``None`` marks a config whose
+#: state cannot be checkpointed: build fresh every time). Lives at
+#: module level so both pool workers and the in-process serial path
+#: amortize machine construction the same way.
+_MACHINES: dict[str, ServerMachine | None] = {}
+
+#: Worker-side handles on disk stores, keyed by root path.
+_STORES: dict[str, ResultStore] = {}
+
+
+def _worker_store(root: str) -> ResultStore:
+    store = _STORES.get(root)
+    if store is None:
+        store = _STORES[root] = ResultStore(root)
+    return store
+
+
+def _machine_for(spec: ExperimentSpec) -> ServerMachine:
+    """A machine for ``spec``: recycled when possible, else fresh."""
+    config = spec.build_config()
+    if not recycling_enabled():
+        return ServerMachine(config, seed=spec.seed)
+    if spec.config in _MACHINES:
+        machine = _MACHINES[spec.config]
+        if machine is None:  # config known to be non-recyclable
+            return ServerMachine(config, seed=spec.seed)
+        machine.recycle(config, spec.seed)
+        return machine
+    machine = ServerMachine(config, seed=spec.seed)
+    try:
+        machine.checkpoint()
+    except CheckpointError:
+        # Remember only the verdict: keeping the machine would pin a
+        # full (and soon dirty) component graph per worker for nothing.
+        _MACHINES[spec.config] = None
+        return machine
+    _MACHINES[spec.config] = machine
+    return machine
+
+
+def clear_warm_machines() -> None:
+    """Drop this process's warm-machine cache (tests, memory pressure)."""
+    _MACHINES.clear()
+
+
+#: Task statuses: a worker either served the cell from its local disk
+#: store ("hit", result stays on disk), simulated and persisted it
+#: ("stored"), or simulated with no disk store in play ("fresh").
+_HIT, _STORED, _FRESH = "hit", "stored", "fresh"
+
+
+def _cell_task(payload):
+    """Pool task: run one cell; returns (key, status, result, timings).
+
+    ``payload`` is ``(spec, store_root)``. With a disk store the
+    worker short-circuits locally: if the record already exists (for
+    example a concurrent sweep sharing the store produced it after
+    this run's cache pre-pass), nothing is simulated and no result is
+    shipped back — the parent re-reads it from disk. Freshly simulated
+    results are persisted worker-side, streaming the store writes
+    instead of funnelling them through the parent.
+    """
+    spec, store_root = payload
+    try:
+        key = spec.key()
+        store = None
+        if store_root is not None:
+            store = _worker_store(store_root)
+            if key in store:
+                return key, _HIT, None, 0.0, 0.0
+        # CPU seconds, not wall: with more workers than cores the
+        # wall clock charges descheduled time to whichever cell was
+        # in flight, which would garble the build/simulate split.
+        build_start = process_time()
+        machine = _machine_for(spec)
+        sim_start = process_time()
+        result = run_experiment(
+            spec.build_workload(),
+            machine.config,
+            duration_ns=spec.duration_ns,
+            warmup_ns=spec.warmup_ns,
+            seed=spec.seed,
+            machine=machine,
+        )
+        done = process_time()
+        if store is not None:
+            store.put(key, result, spec=spec)
+            return key, _STORED, result, sim_start - build_start, done - sim_start
+        return key, _FRESH, result, sim_start - build_start, done - sim_start
+    except SweepCellError:
+        raise
+    except Exception as error:
+        try:
+            label = spec.label()
+        except Exception:
+            # label() validates the workload, which may be the very
+            # thing that failed; never mask the original error.
+            label = (
+                f"{spec.config}/{spec.scenario or spec.workload}"
+                f"@{spec.qps:g}/seed{spec.seed}"
+            )
+        raise SweepCellError(
+            f"sweep cell {label} failed: {type(error).__name__}: {error}"
+        ) from error
+
+
+def _chunksize(n_pending: int, workers: int) -> int:
+    """Batch size for pool dispatch.
+
+    With real parallelism available, chunks stay small so the wide
+    per-cell cost spread (idle cells are ~100x cheaper than loaded
+    ones) load-balances across the pool. When the pool is
+    oversubscribed (more workers than cores), time-slicing equalizes
+    the workers regardless, so load balance cannot pay — batch one
+    chunk per worker and spend the savings on fewer IPC round-trips.
+    """
+    if workers > (os.cpu_count() or 1):
+        return max(1, -(-n_pending // workers))
+    return max(1, min(8, n_pending // (workers * 4)))
+
+
+class SweepSession:
+    """A reusable sweep executor: one pool, warm workers, many runs.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` uses :func:`default_workers` (one per
+        core, ``REPRO_SWEEP_WORKERS`` override). 1 runs serially
+        in-process — with the same warm-machine reuse.
+    store:
+        Default result store for runs that do not pass their own.
+    """
+
+    def __init__(self, workers: int | None = None, store=None):
+        if workers is None:
+            from repro.sweep.runner import default_workers
+
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.store = store
+        self._pool = None
+        self._pool_size = 0
+        self._last_parallelism = 1
+        self._closed = False
+        #: Accounting for the most recent :meth:`run` (consumed by the
+        #: sweep throughput bench): build/simulate split, dispatch
+        #: counts, wall time.
+        self.last_run_stats: dict[str, float | int] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    def _ensure_pool(self, n_pending: int):
+        """A pool big enough for ``n_pending`` cells, forked lazily.
+
+        The pool never exceeds the pending cell count — a
+        mostly-cached sweep with two misses must not fork a per-core
+        pool for them. A persistent session whose later runs need more
+        workers than an earlier small run forked is regrown once
+        (trading that run's warm machines for the right parallelism).
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        size = min(self.workers, max(1, n_pending))
+        if self._pool is not None and self._pool_size < size:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._pool is None:
+            # fork is cheapest and safe on Linux; elsewhere (macOS
+            # lists fork as available but it is unsafe with threaded
+            # BLAS) use spawn, the platform default.
+            ctx = multiprocessing.get_context(
+                "fork" if sys.platform.startswith("linux") else "spawn"
+            )
+            self._pool = ctx.Pool(processes=size)
+            self._pool_size = size
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "SweepSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self,
+        spec: SweepSpec | Sequence[ExperimentSpec],
+        store=None,
+        progress: Callable[[ExperimentSpec], None] | None = None,
+        on_result: Callable[[ExperimentSpec, ExperimentResult, bool], None] | None = None,
+    ):
+        """Run every cell; returns results in deterministic cell order.
+
+        ``progress(spec)`` fires once per grid cell: cached and
+        duplicate cells during the cache pre-pass, simulated cells as
+        they finish (arrival order) — so a progress display's count
+        always reaches the grid size.
+        ``on_result(spec, result, from_cache)`` fires in deterministic
+        *cell* order, as early as each prefix completes — the
+        streaming hook store/CSV writers use so a huge grid never
+        buffers in the consumer.
+        """
+        from repro.sweep.runner import SweepResults
+
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if store is None:
+            store = self.store
+        cells = spec.cells() if isinstance(spec, SweepSpec) else list(spec)
+        wall_start = perf_counter()
+        by_key: dict[str, ExperimentResult] = {}
+        pending_by_key: dict[str, ExperimentSpec] = {}
+        cache_hits = 0
+        for cell in cells:
+            key = cell.key()
+            if key in by_key or key in pending_by_key:
+                # Duplicate cell in the grid; counts toward progress
+                # immediately so the display's total is reachable.
+                if progress is not None:
+                    progress(cell)
+                continue
+            cached = store.get(key) if store is not None else None
+            if cached is not None:
+                by_key[key] = cached
+                cache_hits += 1
+                if progress is not None:
+                    progress(cell)
+            else:
+                pending_by_key[key] = cell
+        pending = list(pending_by_key.values())
+
+        # Ordered streaming: flush the longest completed prefix of the
+        # deterministic cell order to ``on_result`` after every arrival.
+        next_cell = 0
+
+        def flush_ready() -> None:
+            nonlocal next_cell
+            if on_result is None:
+                return
+            while next_cell < len(cells):
+                cell = cells[next_cell]
+                result = by_key.get(cell.key())
+                if result is None:
+                    return
+                on_result(cell, result, cell.key() not in pending_by_key)
+                next_cell += 1
+
+        flush_ready()
+        build_s = 0.0
+        simulate_s = 0.0
+        worker_hits = 0
+        self._last_parallelism = 1
+        store_root = (
+            str(store.root) if isinstance(store, ResultStore) else None
+        )
+        for key, status, result, cell_build_s, cell_sim_s in self._execute(
+            pending, store_root, progress, pending_by_key
+        ):
+            build_s += cell_build_s
+            simulate_s += cell_sim_s
+            if status == _HIT:
+                # Another process produced the record after our cache
+                # pre-pass; read it from disk rather than re-simulating
+                # (and rather than shipping it over IPC).
+                result = store.get(key)
+                if result is None:  # racing deletion/corruption
+                    key, status, result, b, s = _cell_task(
+                        (pending_by_key[key], None)
+                    )
+                    build_s += b
+                    simulate_s += s
+                else:
+                    worker_hits += 1
+            by_key[key] = result
+            if store is not None and status == _FRESH:
+                store.put(key, result, spec=pending_by_key[key])
+            flush_ready()
+        ordered = [by_key[cell.key()] for cell in cells]
+        self.last_run_stats = {
+            "cells": len(cells),
+            "unique_cells": len(by_key),
+            "cache_hits": cache_hits,
+            "worker_store_hits": worker_hits,
+            "dispatched": len(pending),
+            # The parallelism actually used by this run (a persistent
+            # pool may be larger than a later, smaller run needed).
+            "workers": self._last_parallelism,
+            "build_s": build_s,
+            "simulate_s": simulate_s,
+            "wall_s": perf_counter() - wall_start,
+        }
+        return SweepResults(cells, ordered, cache_hits=cache_hits)
+
+    def _execute(self, pending, store_root, progress, pending_by_key):
+        if not pending:
+            return
+        payloads = [(cell, store_root) for cell in pending]
+        if self.workers == 1 or len(pending) == 1:
+            for cell, payload in zip(pending, payloads):
+                if progress is not None:
+                    progress(cell)
+                yield _cell_task(payload)
+            return
+        pool = self._ensure_pool(len(pending))
+        workers = self._pool_size
+        self._last_parallelism = workers
+        for item in pool.imap_unordered(
+            _cell_task, payloads, chunksize=_chunksize(len(pending), workers)
+        ):
+            if progress is not None:
+                progress(pending_by_key[item[0]])
+            yield item

@@ -132,6 +132,63 @@ def write_csv(
     return len(rows)
 
 
+class StreamingCsvWriter:
+    """Writes sweep CSV rows as cells complete, in cell order.
+
+    Produces byte-identical output to :func:`write_csv` without
+    buffering the grid: the session's ordered ``on_result`` hook feeds
+    it one (cell, result) at a time, so a huge sweep's rows hit disk
+    while later cells are still simulating.
+
+    Rows stream into a same-directory temp file that only replaces
+    ``path`` on a clean :meth:`close` — a failed or interrupted sweep
+    never clobbers the complete CSV of a previous run (the same
+    write-after-success property the buffered :func:`write_csv` path
+    has always had). Leaving a ``with`` block via an exception
+    discards the temp file instead.
+    """
+
+    def __init__(self, path: str | Path, columns: tuple[str, ...] | None = None):
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = self._path.with_name(f"{self._path.name}.{os.getpid()}.tmp")
+        self._handle = open(self._tmp, "w", newline="")
+        self._writer = csv.DictWriter(
+            self._handle,
+            fieldnames=columns if columns is not None else CSV_COLUMNS,
+            extrasaction="ignore",
+        )
+        self._writer.writeheader()
+        self.rows = 0
+
+    def write(self, result: ExperimentResult,
+              spec: ExperimentSpec | None = None) -> None:
+        """Append one cell's row."""
+        self._writer.writerow(flatten_result(result, spec=spec))
+        self.rows += 1
+
+    def close(self) -> None:
+        """Finalize: move the streamed rows into place (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+            os.replace(self._tmp, self._path)
+
+    def discard(self) -> None:
+        """Drop the streamed rows, leaving ``path`` untouched (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+        self._tmp.unlink(missing_ok=True)
+
+    def __enter__(self) -> "StreamingCsvWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.discard()
+
+
 class MemoryStore:
     """In-process result cache with the :class:`ResultStore` interface."""
 
@@ -197,18 +254,29 @@ class ResultStore:
 
     def put(self, key: str, result: ExperimentResult,
             spec: ExperimentSpec | None = None) -> None:
-        """Persist ``result`` under ``key`` (atomic via rename)."""
+        """Persist ``result`` under ``key``, atomically.
+
+        The record is serialized to a temp file in the same directory
+        and moved into place with ``os.replace``, so readers (and
+        concurrent sweeps sharing the store) only ever observe a
+        complete record — an interrupted writer can never leave a
+        truncated JSON file that poisons later cache hits. The temp
+        name carries the writer's PID so concurrent puts of one key
+        never interleave, and a failed write cleans its temp file up.
+        """
         record = {
             "key": key,
             "spec": spec.as_dict() if spec is not None else None,
             "result": result_to_dict(result),
         }
         path = self._path(key)
-        # Unique tmp name so concurrent sweeps sharing a store never
-        # interleave writes; the rename is atomic either way.
-        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(record, indent=1, sort_keys=True))
-        tmp.replace(path)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(record, indent=1, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

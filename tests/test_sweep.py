@@ -10,6 +10,7 @@ from repro.server.experiment import ExperimentResult
 from repro.sweep import (
     ExperimentSpec,
     MemoryStore,
+    MetricStats,
     ResultStore,
     SweepRunner,
     SweepSpec,
@@ -318,6 +319,135 @@ class TestAggregation:
         assert row["seed"] == 3
         assert row["total_power_w"] == 35.0
         assert row["pc1a_residency"] == 0.5
+
+    def test_seed_only_differences_collapse_to_one_cell(self):
+        results = [
+            _synthetic_result(seed=s, power=p)
+            for s, p in ((1, 30.0), (2, 32.0), (3, 31.0))
+        ]
+        cells = [
+            ExperimentSpec(workload="memcached", qps=1_000.0, preset="low",
+                           config="CPC1A", seed=s,
+                           duration_ns=10 * MS, warmup_ns=1 * MS)
+            for s in (1, 2, 3)
+        ]
+        (agg,) = aggregate_over_seeds(results, cells=cells)
+        assert agg.seeds == (1, 2, 3)
+        assert agg.n_seeds == 3
+
+    def test_scenario_differences_do_not_collapse(self):
+        # nginx and memcached at the same rate/seed/window are distinct
+        # physical experiments; their results carry distinct workload
+        # names and must never fold into one mean.
+        results = [
+            _synthetic_result(seed=1, power=30.0),
+            _synthetic_result(seed=1, power=40.0),
+        ]
+        object.__setattr__(results[1], "workload_name", "nginx")
+        cells = [
+            ExperimentSpec(workload=name, qps=1_000.0, preset="low",
+                           config="CPC1A", seed=1,
+                           duration_ns=10 * MS, warmup_ns=1 * MS)
+            for name in ("memcached", "nginx")
+        ]
+        aggregates = aggregate_over_seeds(results, cells=cells)
+        assert [a.workload for a in aggregates] == ["memcached", "nginx"]
+        assert [a.n_seeds for a in aggregates] == [1, 1]
+
+    def test_trace_differences_do_not_collapse(self):
+        # Two replay cells over different trace files share the
+        # workload label and rate; the trace (spec-side preset) must
+        # keep their aggregates apart.
+        results = [
+            _synthetic_result(seed=1, power=30.0),
+            _synthetic_result(seed=1, power=45.0),
+        ]
+        for result in results:
+            object.__setattr__(result, "workload_name", "replay")
+        cells = [
+            ExperimentSpec(workload="replay", qps=0.0, preset=trace,
+                           config="CPC1A", seed=1,
+                           duration_ns=10 * MS, warmup_ns=1 * MS)
+            for trace in ("tests/data/example_trace.csv", "")
+        ]
+        aggregates = aggregate_over_seeds(results, cells=cells)
+        assert len(aggregates) == 2
+        assert [a.n_seeds for a in aggregates] == [1, 1]
+        assert aggregates[0]["total_power_w"].mean != aggregates[1]["total_power_w"].mean
+
+
+class TestMetricStats:
+    def test_single_value_is_pinned_to_zero_spread(self):
+        stats = MetricStats.from_values([42.5])
+        assert stats == MetricStats(mean=42.5, std=0.0, ci95=0.0, n=1)
+        assert str(stats) == "42.5"
+
+    def test_two_values_ci_math_is_pinned(self):
+        stats = MetricStats.from_values([10.0, 14.0])
+        assert stats.n == 2
+        assert stats.mean == pytest.approx(12.0)
+        # ddof=1: var = ((10-12)^2 + (14-12)^2) / 1 = 8.
+        assert stats.std == pytest.approx(8.0 ** 0.5)
+        assert stats.ci95 == pytest.approx(1.96 * 8.0 ** 0.5 / 2 ** 0.5)
+        assert "±" in str(stats)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            MetricStats.from_values([])
+
+
+class TestProgressThrottle:
+    def test_emits_first_stride_and_final_lines_only(self):
+        import io
+
+        from repro.cli import ThrottledProgress
+
+        stream = io.StringIO()
+        progress = ThrottledProgress(
+            total=250, stream=stream, min_interval_s=3600.0, stride=100
+        )
+        cell = tiny_cell()
+        for _ in range(250):
+            progress(cell)
+        lines = stream.getvalue().splitlines()
+        # Time never elapses, so only the first cell, every 100th and
+        # the final cell get a line — not one line per cell.
+        assert progress.count == 250
+        assert len(lines) == 4
+        assert lines[0].startswith("[1/250] ")
+        assert lines[-1].startswith("[250/250] ")
+
+    def test_unthrottled_interval_emits_every_cell(self):
+        import io
+
+        from repro.cli import ThrottledProgress
+
+        stream = io.StringIO()
+        progress = ThrottledProgress(
+            total=5, stream=stream, min_interval_s=0.0, stride=1
+        )
+        for _ in range(5):
+            progress(tiny_cell())
+        assert len(stream.getvalue().splitlines()) == 5
+
+    def test_cli_no_progress_stays_silent(self, tmp_path, capsys):
+        out = tmp_path / "grid.csv"
+        assert cli_main([
+            "sweep", "--rates", "0", "--configs", "CPC1A", "--seeds", "1",
+            "--duration-ms", "4", "--warmup-ms", "1", "--workers", "1",
+            "--no-progress", "--out", str(out),
+        ]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_cli_progress_reports_on_stderr(self, tmp_path, capsys):
+        out = tmp_path / "grid.csv"
+        assert cli_main([
+            "sweep", "--rates", "0,15000", "--configs", "CPC1A",
+            "--seeds", "1", "--duration-ms", "4", "--warmup-ms", "1",
+            "--workers", "1", "--progress", "--out", str(out),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "[2/2]" in err
 
 
 class TestCliSweep:
