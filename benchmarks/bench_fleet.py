@@ -1,0 +1,276 @@
+"""Fleet simulation: routing-policy energy gap + sweep throughput.
+
+Two questions, one trajectory (``results/BENCH_fleet.json``):
+
+* **Does packing pay?** The subsystem's acceptance claim: at matched
+  offered load, ``power-aware-pack`` must report *lower fleet energy*
+  than ``round-robin`` on a CPC1A cluster (consolidation lengthens
+  package idle on the drained servers). The run records both
+  energies, the savings and the pooled p99s; the gate fails if the
+  gap ever closes.
+* **How fast do fleet cells sweep?** ``fleet_grid`` measures cells/sec
+  for a routing x rate fleet grid through a parallel
+  :class:`~repro.sweep.SweepSession` — the fleet analogue of the
+  sweep-throughput bench, gated at the same -30 % budget.
+
+Run modes (same contract as the kernel/sweep benches):
+
+* under pytest like every other bench (asserts the packing claim);
+* as a standalone script emitting the trajectory and optionally
+  enforcing the gates::
+
+      PYTHONPATH=src python benchmarks/bench_fleet.py \\
+          --out results/BENCH_fleet.json \\
+          --baseline results/BENCH_fleet.json --max-regression 0.30
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import (
+    RESULTS_DIR,
+    append_trajectory,
+    check_rate_regression,
+    last_comparable_run,
+    load_trajectory,
+)
+from repro.fleet import ClusterConfig, FleetSpec, run_fleet_experiment
+from repro.sweep import SweepSession, WorkloadPoint
+from repro.units import MS
+
+#: Bump when grid/cluster definitions change incompatibly.
+BENCH_SCHEMA = 1
+
+DEFAULT_REPEATS = 3
+DEFAULT_WORKERS = 4
+
+#: The acceptance cluster: 4 CPC1A servers, default dispatch latency.
+N_SERVERS = 4
+#: Matched offered load for the pack-vs-round-robin claim (whole-fleet
+#: QPS; ~10 % per-server utilization — the band datacenters live in).
+MATCHED_QPS = 60_000.0
+PACK_WINDOW_NS = 30 * MS
+PACK_WARMUP_NS = 6 * MS
+
+#: The throughput grid: 2 routings x 3 rates, short windows so the
+#: sweep layer (not one long simulation) is the measured quantity.
+GRID_RATES = (20_000.0, 60_000.0, 120_000.0)
+GRID_ROUTINGS = ("round-robin", "power-aware-pack")
+
+
+def grid_cells():
+    """The throughput grid as an explicit fleet-cell list."""
+    spec = FleetSpec(
+        workloads=tuple(
+            WorkloadPoint("memcached", qps=qps) for qps in GRID_RATES
+        ),
+        clusters=tuple(
+            ClusterConfig(machine="CPC1A", n_servers=N_SERVERS, routing=routing)
+            for routing in GRID_ROUTINGS
+        ),
+        seeds=(1,),
+        duration_ns=10 * MS,
+        warmup_ns=2 * MS,
+    )
+    return spec.cells()
+
+
+def measure_pack_vs_round_robin(
+    qps: float = MATCHED_QPS,
+    duration_ns: int = PACK_WINDOW_NS,
+    warmup_ns: int = PACK_WARMUP_NS,
+    seed: int = 1,
+) -> dict:
+    """Fleet energy of round-robin vs power-aware-pack at one load."""
+    from repro.workloads.memcached import MemcachedWorkload
+
+    out = {}
+    for routing in ("round-robin", "power-aware-pack"):
+        result = run_fleet_experiment(
+            MemcachedWorkload(qps),
+            ClusterConfig(machine="CPC1A", n_servers=N_SERVERS, routing=routing),
+            duration_ns=duration_ns,
+            warmup_ns=warmup_ns,
+            seed=seed,
+        )
+        out[routing] = {
+            "fleet_power_w": round(result.total_power_w, 4),
+            "energy_j": round(result.energy_j, 6),
+            "p99_us": round(result.latency.p99_us, 3),
+            "pc1a_residency": round(result.pc1a_residency(), 6),
+            "active_servers": result.active_servers(),
+        }
+    rr = out["round-robin"]["energy_j"]
+    pack = out["power-aware-pack"]["energy_j"]
+    return {
+        "n_servers": N_SERVERS,
+        "offered_qps": qps,
+        "duration_ms": duration_ns // MS,
+        "seed": seed,
+        "routings": out,
+        "savings_percent": round(100.0 * (1.0 - pack / rr), 3),
+    }
+
+
+def run_suite(repeats: int = DEFAULT_REPEATS, workers: int = DEFAULT_WORKERS) -> dict:
+    """Best-of-``repeats`` fleet cells/sec plus the packing comparison."""
+    cells = grid_cells()
+    n = len(cells)
+    best = 0.0
+    seconds = 0.0
+    with SweepSession(workers=workers) as session:
+        session.run(cells)  # untimed warm-up: fork the pool
+        for _ in range(repeats):
+            start = time.perf_counter()
+            session.run(cells)
+            elapsed = time.perf_counter() - start
+            rate = n / elapsed
+            if rate > best:
+                best, seconds = rate, elapsed
+    return {
+        "schema": BENCH_SCHEMA,
+        "repeats": repeats,
+        "workers": workers,
+        "grid": {
+            "routings": list(GRID_ROUTINGS),
+            "rates": list(GRID_RATES),
+            "n_servers": N_SERVERS,
+            "duration_ms": 10,
+            "cells": n,
+        },
+        "scenarios": {
+            "fleet_grid": {
+                "cells": n,
+                "seconds": round(seconds, 6),
+                "cells_per_sec": round(best, 3),
+            },
+        },
+        "pack_vs_round_robin": measure_pack_vs_round_robin(),
+    }
+
+
+def check_regression(
+    run: dict,
+    baseline_run: dict,
+    max_regression: float,
+    scenarios=("fleet_grid",),
+) -> list[str]:
+    """Gate failures: throughput drops and a closed packing gap."""
+    failures = check_rate_regression(
+        run, baseline_run, max_regression, scenarios,
+        rate_key="cells_per_sec", unit="cells/s",
+    )
+    comparison = run["pack_vs_round_robin"]
+    if comparison["savings_percent"] <= 0:
+        failures.append(
+            "power-aware-pack no longer saves fleet energy vs round-robin "
+            f"(savings {comparison['savings_percent']:.2f}% at "
+            f"{comparison['offered_qps']:g} QPS)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(RESULTS_DIR / "BENCH_fleet.json"),
+        help="trajectory file to write (default: results/BENCH_fleet.json)",
+    )
+    parser.add_argument(
+        "--label", default="local",
+        help="label stored with this run (e.g. a PR number or git sha)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help="rounds for the throughput grid (cells/sec is best-of)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS,
+        help="pool size for the throughput grid",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="existing BENCH_fleet.json to compare against "
+             "(its newest schema-compatible run)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="fail if fleet_grid cells/sec drops more than this fraction",
+    )
+    parser.add_argument(
+        "--replace", action="store_true",
+        help="overwrite --out instead of appending to its run history",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_run = None
+    if args.baseline is not None:
+        try:
+            baseline = load_trajectory(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"ERROR baseline {args.baseline} is unusable: {error}")
+            return 1
+        baseline_run = last_comparable_run(baseline, BENCH_SCHEMA)
+        if baseline_run is None:
+            print(
+                f"[no run with scenario schema {BENCH_SCHEMA} in "
+                f"{args.baseline}; skipping the throughput gate]"
+            )
+
+    run = run_suite(repeats=args.repeats, workers=args.workers)
+    run["label"] = args.label
+    grid = run["scenarios"]["fleet_grid"]
+    print(f"fleet_grid: {grid['cells_per_sec']:>8,.1f} cells/s "
+          f"({grid['cells']} cells, {N_SERVERS} servers each)")
+    comparison = run["pack_vs_round_robin"]
+    rr = comparison["routings"]["round-robin"]
+    pack = comparison["routings"]["power-aware-pack"]
+    print(
+        f"pack vs round-robin @ {comparison['offered_qps']:g} QPS: "
+        f"{pack['energy_j']:.3f} J vs {rr['energy_j']:.3f} J "
+        f"({comparison['savings_percent']:.1f}% saved; "
+        f"p99 {rr['p99_us']:.0f} -> {pack['p99_us']:.0f} us)"
+    )
+
+    out = append_trajectory(args.out, run, BENCH_SCHEMA, replace=args.replace)
+    print(f"[trajectory written to {out}]")
+
+    # The packing claim gates even without a baseline (it is a model
+    # property, not a machine-speed property).
+    failures = check_regression(
+        run, baseline_run if baseline_run is not None else run,
+        args.max_regression,
+        scenarios=("fleet_grid",) if baseline_run is not None else (),
+    )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION {failure}")
+        return 1
+    print("fleet gates ok (packing saves energy"
+          + (f"; fleet_grid within -{args.max_regression:.0%} of baseline)"
+             if baseline_run is not None else ")"))
+    return 0
+
+
+# -- pytest entry points -----------------------------------------------------
+def bench_fleet_pack_beats_round_robin():
+    """The acceptance claim, sized for the CI bench matrix."""
+    comparison = measure_pack_vs_round_robin(
+        duration_ns=12 * MS, warmup_ns=3 * MS
+    )
+    rr = comparison["routings"]["round-robin"]
+    pack = comparison["routings"]["power-aware-pack"]
+    assert pack["energy_j"] < rr["energy_j"], comparison
+    assert pack["active_servers"] < N_SERVERS, comparison
+    print(
+        f"\n=== fleet pack-vs-rr @ {comparison['offered_qps']:g} QPS ===\n"
+        f"round-robin {rr['energy_j']:.3f} J, pack {pack['energy_j']:.3f} J "
+        f"({comparison['savings_percent']:.1f}% saved)"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

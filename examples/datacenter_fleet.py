@@ -1,19 +1,23 @@
-"""Fleet-level energy proportionality: the paper's datacenter framing.
+"""Fleet-level energy proportionality, measured on a simulated cluster.
 
-Sweeps a single server's power curve under Memcached for the baseline
-and APC configurations, lifts both to a 10-server fleet, and reports
-fleet power, annual energy and the Wong-Annavaram energy-
-proportionality score — quantifying the introduction's argument that
-agile package C-states attack exactly the 5-20 % utilization band
-where datacenters live.
+Earlier revisions of this example *approximated* a fleet by sweeping
+one server's power curve and multiplying by N. It now simulates the
+cluster for real through :mod:`repro.fleet`: N ``ServerMachine``\\ s
+share one event kernel behind a load balancer, and a single scenario-
+driven arrival stream is routed across them — so routing policy and
+per-server package idle states interact exactly as they would in a
+rack.
 
-The measurement grid runs through the sweep-orchestration subsystem
-(:mod:`repro.sweep`): every (config, rate, seed) cell is one
-independent simulation, so the whole fleet characterization fans out
-over a worker pool. ``--wide`` expands the grid to every
-configuration, a dense rate axis and several seeds — hundreds of
-machine-configurations in one parallel run — and reports the score
-spread across seeds.
+The headline comparison is **pack vs spread at matched offered
+load**: ``power-aware-pack`` consolidates requests onto few servers
+(the rest reach deep package idle), ``power-aware-spread`` fans every
+request out (best queueing, worst idleness). The example reports
+fleet power, pooled p99 and the measured fleet energy-proportionality
+score per policy, plus the Cshallow-vs-CPC1A fleet savings.
+
+Every (cluster, rate, seed) cell is one independent simulation fanned
+out over the sweep-orchestration worker pool. ``--wide`` expands the
+grid: more servers, a denser rate axis and several seeds.
 
 Run with::
 
@@ -23,34 +27,26 @@ Run with::
 import argparse
 
 from repro.analysis import format_table
-from repro.analysis.cluster import FleetModel, PowerCurve, fleet_savings_percent
-from repro.sweep import SweepSession, SweepSpec, WorkloadPoint
+from repro.fleet import ClusterConfig, FleetSpec, fleet_power_curve
+from repro.sweep import SweepSession, WorkloadPoint
 from repro.units import MS
 
-SWEEP_QPS = (10_000, 40_000, 100_000, 300_000, 700_000)
-WIDE_QPS = (4_000, 10_000, 25_000, 40_000, 65_000, 100_000, 180_000,
-            300_000, 450_000, 700_000, 1_000_000)
-N_SERVERS = 10
+#: Aggregate (whole-fleet) offered rates; the band where datacenters
+#: live is the low end of each server's curve.
+SWEEP_QPS = (20_000, 60_000, 120_000)
+WIDE_QPS = (10_000, 20_000, 40_000, 60_000, 90_000, 120_000)
+ROUTINGS = ("round-robin", "power-aware-spread", "power-aware-pack")
 
 
 def curve_points(rates) -> tuple[WorkloadPoint, ...]:
-    """The idle anchor plus one loaded point per rate."""
-    points = [WorkloadPoint("idle", duration_ns=30 * MS, warmup_ns=10 * MS)]
+    """The idle anchor plus one loaded point per fleet rate."""
+    points = [WorkloadPoint("idle", duration_ns=12 * MS, warmup_ns=3 * MS)]
     points.extend(
         WorkloadPoint("memcached", qps=float(qps),
-                      duration_ns=60 * MS, warmup_ns=15 * MS)
+                      duration_ns=25 * MS, warmup_ns=6 * MS)
         for qps in rates
     )
     return tuple(points)
-
-
-def curve_for(results, config: str, rates, seed: int) -> PowerCurve:
-    """Assemble one server's power curve from the sweep results."""
-    ordered = [results.one(config=config, workload="idle", seed=seed)]
-    ordered.extend(
-        results.one(config=config, qps=float(qps), seed=seed) for qps in rates
-    )
-    return PowerCurve.from_results(ordered, label=config)
 
 
 def main(argv=None) -> None:
@@ -58,61 +54,97 @@ def main(argv=None) -> None:
     parser.add_argument("--workers", type=int, default=0,
                         help="sweep worker processes (0 = one per core)")
     parser.add_argument("--wide", action="store_true",
-                        help="all configs x dense rates x 3 seeds")
+                        help="8 servers x dense rates x 2 seeds")
     args = parser.parse_args(argv)
 
-    configs = ("Cshallow", "Cdeep", "CPC1A") if args.wide else ("Cshallow", "CPC1A")
+    n_servers = 8 if args.wide else 4
     rates = WIDE_QPS if args.wide else SWEEP_QPS
-    seeds = (1, 2, 3) if args.wide else (1,)
-    spec = SweepSpec(
-        workloads=curve_points(rates), configs=configs, seeds=seeds
+    seeds = (1, 2) if args.wide else (1,)
+    clusters = tuple(
+        ClusterConfig(machine="CPC1A", n_servers=n_servers, routing=routing)
+        for routing in ROUTINGS
+    ) + (
+        # The real-world baseline fleet: no agile package states.
+        ClusterConfig(machine="Cshallow", n_servers=n_servers,
+                      routing="round-robin"),
     )
-    # One persistent session: the pool forks once and each worker
-    # recycles a warm machine per config across the whole grid.
+    spec = FleetSpec(
+        workloads=curve_points(rates), clusters=clusters, seeds=seeds
+    )
     with SweepSession(workers=args.workers or None) as session:
-        results = session.run(spec)
-    print(f"swept {len(spec)} machine-configuration cells in parallel\n")
+        results = session.run(spec.cells())
+    print(f"simulated {len(spec)} fleet cells "
+          f"({n_servers} servers each) in parallel\n")
 
-    base_curve = curve_for(results, "Cshallow", rates, seeds[0])
-    apc_curve = curve_for(results, "CPC1A", rates, seeds[0])
-    base_fleet = FleetModel(curve=base_curve, n_servers=N_SERVERS)
-    apc_fleet = FleetModel(curve=apc_curve, n_servers=N_SERVERS)
+    seed = seeds[0]
 
-    peak_util = base_curve.utilizations[-1]
-    fleet_capacity = N_SERVERS * peak_util  # whole-server units
+    print(f"CPC1A fleet of {n_servers} servers under Memcached "
+          f"(seed {seed}):\n")
     rows = []
-    for fraction in (0.1, 0.25, 0.5, 1.0):
-        load = fraction * fleet_capacity
-        rows.append([
-            f"{fraction:.0%} of measured peak",
-            f"{base_fleet.fleet_power_w(load):,.0f} W",
-            f"{apc_fleet.fleet_power_w(load):,.0f} W",
-            f"{fleet_savings_percent(base_fleet, apc_fleet, load):.1f}%",
-            f"{(base_fleet.annual_energy_kwh(load) - apc_fleet.annual_energy_kwh(load)):,.0f} kWh/yr",
-        ])
-    print(f"Fleet of {N_SERVERS} servers under Memcached:\n")
+    for qps in rates:
+        for routing in ROUTINGS:
+            r = results.one(machine="CPC1A", routing=routing,
+                            qps=float(qps), seed=seed)
+            rows.append([
+                f"{qps:,}", routing, f"{r.total_power_w:,.1f} W",
+                f"{r.latency.p99_us:.0f} us", f"{r.pc1a_residency():.1%}",
+                f"{r.active_servers()}/{r.n_servers}",
+            ])
     print(format_table(
-        ["aggregate load", "Cshallow fleet", "CPC1A fleet",
-         "savings", "energy saved"],
+        ["offered QPS", "routing", "fleet power", "p99",
+         "PC1A residency", "active servers"],
         rows,
     ))
-    print(f"\nEnergy-proportionality score (1.0 = ideal):"
-          f"  Cshallow {base_curve.proportionality_score():.3f}"
-          f"  ->  CPC1A {apc_curve.proportionality_score():.3f}")
 
-    if args.wide:
-        print("\nPer-config score across seeds (mean [min, max]):")
-        score_rows = []
-        for config in configs:
-            scores = [
-                curve_for(results, config, rates, seed).proportionality_score()
-                for seed in seeds
-            ]
-            mean = sum(scores) / len(scores)
-            score_rows.append([
-                config, f"{mean:.3f}", f"{min(scores):.3f}", f"{max(scores):.3f}",
-            ])
-        print(format_table(["config", "EP score", "min", "max"], score_rows))
+    print("\nPack vs spread at matched offered load:")
+    pack_rows = []
+    for qps in rates:
+        pack = results.one(machine="CPC1A", routing="power-aware-pack",
+                           qps=float(qps), seed=seed)
+        spread = results.one(machine="CPC1A", routing="power-aware-spread",
+                             qps=float(qps), seed=seed)
+        savings = 100.0 * (1.0 - pack.total_power_w / spread.total_power_w)
+        pack_rows.append([
+            f"{qps:,}",
+            f"{spread.total_power_w:,.1f} W", f"{pack.total_power_w:,.1f} W",
+            f"{savings:.1f}%",
+            f"{spread.latency.p99_us:.0f} -> {pack.latency.p99_us:.0f} us",
+        ])
+    print(format_table(
+        ["offered QPS", "spread fleet", "pack fleet", "savings", "p99"],
+        pack_rows,
+    ))
+
+    print("\nEnergy-proportionality score (1.0 = ideal, measured fleet):")
+    score_rows = []
+    for config, routing in [("Cshallow", "round-robin")] + [
+        ("CPC1A", routing) for routing in ROUTINGS
+    ]:
+        scores = [
+            fleet_power_curve(
+                results.select(machine=config, routing=routing, seed=s),
+                label=f"{config}/{routing}",
+            ).proportionality_score()
+            for s in seeds
+        ]
+        mean = sum(scores) / len(scores)
+        row = [config, routing, f"{mean:.3f}"]
+        if len(seeds) > 1:
+            row.append(f"[{min(scores):.3f}, {max(scores):.3f}]")
+        score_rows.append(row)
+    headers = ["config", "routing", "EP score"]
+    if len(seeds) > 1:
+        headers.append("[min, max]")
+    print(format_table(headers, score_rows))
+
+    base = results.one(machine="Cshallow", routing="round-robin",
+                       qps=float(rates[0]), seed=seed)
+    apc = results.one(machine="CPC1A", routing="power-aware-pack",
+                      qps=float(rates[0]), seed=seed)
+    print(f"\nAt {rates[0]:,} QPS aggregate load, the packed CPC1A fleet "
+          f"draws {apc.total_power_w:,.1f} W vs the Cshallow baseline's "
+          f"{base.total_power_w:,.1f} W "
+          f"({100 * (1 - apc.total_power_w / base.total_power_w):.1f}% saved).")
 
 
 if __name__ == "__main__":

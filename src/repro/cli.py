@@ -405,6 +405,58 @@ def _scenario_points(args: argparse.Namespace) -> tuple[WorkloadPoint, ...]:
     return points
 
 
+def _workload_points(args: argparse.Namespace) -> tuple[WorkloadPoint, ...]:
+    """The workload-point axis of a sweep/fleet grid.
+
+    ``--scenario`` uses the registry defaults (narrowed by
+    ``--rates``/``--presets``/``--trace``); otherwise the workload
+    name's kind decides which knob applies.
+    """
+    kind = scenario_registry.get(args.scenario or args.workload).kind
+    if args.scenario:
+        return _scenario_points(args)
+    if kind == "preset":
+        preset_csv = args.presets or DEFAULT_PRESETS
+        presets = tuple(
+            p.strip() for p in preset_csv.split(",") if p.strip()
+        )
+        if not presets:
+            raise SystemExit("--presets must list at least one preset")
+        return preset_points(args.workload, presets)
+    if kind == "trace":
+        # Trace scenarios have exactly one operating point: the
+        # file (--trace; default = the scenario's bundled trace).
+        return scenario_registry.sweep_points(args.workload, trace=args.trace)
+    if kind == "fixed":
+        return (WorkloadPoint(args.workload),)
+    return _rate_points(args)
+
+
+def _parse_seeds(value: str) -> tuple[int, ...]:
+    seeds = tuple(int(s) for s in value.split(",") if s.strip())
+    if not seeds:
+        raise SystemExit("--seeds must list at least one seed")
+    return seeds
+
+
+def _write_stats_json(args: argparse.Namespace, results, total: int,
+                      workers: int, rows: int) -> None:
+    """Persist machine-readable run accounting for CI assertions."""
+    unique = len({cell.key() for cell in results.cells})
+    stats_path = Path(args.stats_json)
+    stats_path.parent.mkdir(parents=True, exist_ok=True)
+    stats_path.write_text(json.dumps({
+        "cells": total,
+        "unique_cells": unique,
+        "cache_hits": results.cache_hits,
+        "cache_misses": unique - results.cache_hits,
+        "workers": workers,
+        "rows": rows,
+        "csv": str(args.out),
+    }, indent=1, sort_keys=True) + "\n")
+    print(f"wrote run stats to {stats_path}")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a full scenario x config x rate x seed grid in parallel.
 
@@ -415,30 +467,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     (cells, cache hits/misses, rows) for machine consumption.
     """
     try:
-        kind = scenario_registry.get(args.scenario or args.workload).kind
-        if args.scenario:
-            points = _scenario_points(args)
-        elif kind == "preset":
-            preset_csv = args.presets or DEFAULT_PRESETS
-            presets = tuple(
-                p.strip() for p in preset_csv.split(",") if p.strip()
-            )
-            if not presets:
-                raise SystemExit("--presets must list at least one preset")
-            points = preset_points(args.workload, presets)
-        elif kind == "trace":
-            # Trace scenarios have exactly one operating point: the
-            # file (--trace; default = the scenario's bundled trace).
-            points = scenario_registry.sweep_points(
-                args.workload, trace=args.trace
-            )
-        elif kind == "fixed":
-            points = (WorkloadPoint(args.workload),)
-        else:
-            points = _rate_points(args)
-        seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
-        if not seeds:
-            raise SystemExit("--seeds must list at least one seed")
+        points = _workload_points(args)
+        seeds = _parse_seeds(args.seeds)
         spec = SweepSpec(
             workloads=points,
             configs=_split_configs(args.configs),
@@ -469,19 +499,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     print(f"wrote {count} rows to {args.out}")
     if args.stats_json:
-        unique = len({cell.key() for cell in results.cells})
-        stats_path = Path(args.stats_json)
-        stats_path.parent.mkdir(parents=True, exist_ok=True)
-        stats_path.write_text(json.dumps({
-            "cells": len(spec),
-            "unique_cells": unique,
-            "cache_hits": results.cache_hits,
-            "cache_misses": unique - results.cache_hits,
-            "workers": workers,
-            "rows": count,
-            "csv": str(args.out),
-        }, indent=1, sort_keys=True) + "\n")
-        print(f"wrote run stats to {stats_path}")
+        _write_stats_json(args, results, len(spec), workers, count)
     rows = [
         [
             agg.config,
@@ -497,6 +515,99 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(format_table(
         ["config", "workload", "qps", "seeds",
          "power (W)", "mean lat (us)", "PC1A res"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Sweep a multi-server cluster grid: routing x config x rate x seed.
+
+    Each cell simulates a whole fleet — N servers under one kernel
+    behind a load balancer — fed by a single scenario-driven arrival
+    stream. The grid runs through the same sweep session as ``sweep``
+    (parallel workers, content-hash store caching, deterministic CSV),
+    so comparing routing policies at matched offered load is one
+    command::
+
+        python -m repro fleet --scenario memcached --rates 32000 \\
+            --servers 4 --routing round-robin,power-aware-pack \\
+            --configs CPC1A --workers 4 --out results/fleet.csv
+    """
+    from repro.fleet import (
+        FLEET_CSV_COLUMNS,
+        ClusterConfig,
+        FleetSpec,
+        flatten_fleet_result,
+    )
+    from repro.units import US
+
+    try:
+        points = _workload_points(args)
+        seeds = _parse_seeds(args.seeds)
+        routings = tuple(
+            r.strip() for r in args.routing.split(",") if r.strip()
+        )
+        if not routings:
+            raise SystemExit("--routing must list at least one policy")
+        clusters = tuple(
+            ClusterConfig(
+                machine=config,
+                n_servers=args.servers,
+                routing=routing,
+                dispatch_latency_ns=int(args.dispatch_latency_us * US),
+                pack_watermark=args.pack_watermark,
+            )
+            for config in _split_configs(args.configs)
+            for routing in routings
+        )
+        spec = FleetSpec(
+            workloads=points,
+            clusters=clusters,
+            seeds=seeds,
+            duration_ns=args.duration_ms * MS if args.duration_ms else None,
+            warmup_ns=args.warmup_ms * MS if args.warmup_ms is not None else None,
+        )
+    except (KeyError, ValueError, OSError) as error:
+        raise SystemExit(f"invalid fleet grid: {error}") from None
+    workers = _resolve_workers(args.workers)
+    store = ResultStore(args.store) if args.store else None
+    with SweepSession(workers=workers) as session, \
+            StreamingCsvWriter(
+                args.out, columns=FLEET_CSV_COLUMNS, flatten=flatten_fleet_result
+            ) as writer:
+        results = session.run(
+            spec.cells(),
+            store=store,
+            progress=_progress_for(args, len(spec)),
+            on_result=lambda cell, result, cached: writer.write(result, spec=cell),
+        )
+        count = writer.rows
+    print(
+        f"swept {len(spec)} fleet cells on {workers} worker(s); "
+        f"{results.cache_hits} cache hit(s)"
+    )
+    print(f"wrote {count} rows to {args.out}")
+    if args.stats_json:
+        _write_stats_json(args, results, len(spec), workers, count)
+    rows = [
+        [
+            result.config_name,
+            f"x{result.n_servers}",
+            result.routing,
+            result.workload_name,
+            f"{result.offered_qps:g}",
+            f"{result.seed}",
+            f"{result.total_power_w:.1f} W",
+            f"{result.latency.p99_us:.0f} us",
+            f"{result.pc1a_residency():.1%}",
+            f"{result.active_servers()}/{result.n_servers}",
+        ]
+        for result in results
+    ]
+    print(format_table(
+        ["config", "servers", "routing", "workload", "qps", "seed",
+         "fleet power", "p99", "PC1A res", "active"],
         rows,
     ))
     return 0
@@ -646,6 +757,79 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_progress_flag(sweep_parser)
     sweep_parser.set_defaults(fn=cmd_sweep)
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="multi-server cluster sweep (routing x config x rate)"
+    )
+    fleet_parser.add_argument("--workload", default="memcached",
+                              choices=list(workload_names()))
+    fleet_parser.add_argument(
+        "--scenario", default=None, choices=list(workload_names()),
+        help="drive the fleet with a registered scenario's default grid",
+    )
+    fleet_parser.add_argument(
+        "--configs", default="CPC1A",
+        help="comma-separated per-server config names",
+    )
+    fleet_parser.add_argument(
+        "--servers", type=int, default=2,
+        help="servers per cluster (default 2)",
+    )
+    fleet_parser.add_argument(
+        "--routing", default="round-robin,power-aware-pack",
+        help="comma-separated routing policies "
+             "(round-robin, least-outstanding, power-aware-pack, "
+             "power-aware-spread)",
+    )
+    fleet_parser.add_argument(
+        "--dispatch-latency-us", type=float, default=2.0,
+        help="load-balancer hop added to every routed request (us)",
+    )
+    fleet_parser.add_argument(
+        "--pack-watermark", type=int, default=0,
+        help="concurrent requests a server absorbs before "
+             "power-aware-pack spills (0 = one per core)",
+    )
+    fleet_parser.add_argument(
+        "--rates", default=None,
+        help="comma-separated offered rates for the whole fleet "
+             f"(rate scenarios; 0 = idle; default {DEFAULT_RATES})",
+    )
+    fleet_parser.add_argument(
+        "--presets", default=None,
+        help="comma-separated presets (preset scenarios; "
+             f"default {DEFAULT_PRESETS})",
+    )
+    fleet_parser.add_argument(
+        "--trace", default=None,
+        help="trace file for --scenario replay (default: bundled example)",
+    )
+    fleet_parser.add_argument("--preset", default="low",
+                              help=argparse.SUPPRESS)
+    fleet_parser.add_argument(
+        "--seeds", default="1", help="comma-separated seeds"
+    )
+    fleet_parser.add_argument(
+        "--duration-ms", type=int, default=0,
+        help="window per cell (0 = size each window to its rate)",
+    )
+    fleet_parser.add_argument(
+        "--warmup-ms", type=int, default=None,
+        help="warmup per cell (default: derived from the window)",
+    )
+    fleet_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = one per core, REPRO_SWEEP_WORKERS)",
+    )
+    fleet_parser.add_argument("--store", default=None,
+                              help="result-cache directory (optional)")
+    fleet_parser.add_argument("--out", default="results/fleet_grid.csv")
+    fleet_parser.add_argument(
+        "--stats-json", default=None,
+        help="write machine-readable run stats (cells, cache hits) here",
+    )
+    _add_progress_flag(fleet_parser)
+    fleet_parser.set_defaults(fn=cmd_fleet)
 
     scenarios_parser = sub.add_parser(
         "scenarios", help="list the registered traffic scenarios"

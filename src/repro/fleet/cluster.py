@@ -1,0 +1,170 @@
+"""N server machines composed under one event kernel.
+
+A :class:`FleetMachine` is to a cluster what
+:class:`~repro.server.machine.ServerMachine` is to one server: it
+builds the full component graph — N machines sharing a single
+:class:`~repro.sim.engine.Simulator` and one
+:class:`~repro.power.meter.PowerMeter` with per-machine channel
+prefixes (``s00.package``, ``s01.package``, …) — plus the
+:class:`~repro.fleet.routing.LoadBalancer` that routes a single
+scenario-driven arrival stream across them. It implements the same
+``inject`` protocol workloads target, so every registered scenario
+drives a fleet unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.fleet.routing import ROUTING_POLICIES, LoadBalancer
+from repro.power.meter import PowerMeter
+from repro.server.configs import CONFIG_BUILDERS, MachineConfig, config_by_name
+from repro.server.machine import ServerMachine
+from repro.server.stats import MachineStats
+from repro.sim.engine import Simulator
+from repro.units import US
+from repro.workloads.base import Request
+
+
+def server_prefix(index: int) -> str:
+    """The power-channel prefix of server ``index`` (``s03.``)."""
+    return f"s{index:02d}."
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to build a :class:`FleetMachine`.
+
+    Plain data by design (like :class:`MachineConfig`): a cluster is
+    named by its single-machine config plus the fleet-level knobs, so
+    it pickles into sweep cells and hashes into cache keys.
+    """
+
+    machine: str = "CPC1A"
+    n_servers: int = 2
+    routing: str = "round-robin"
+    #: Balancer decision + ToR hop added to every routed request.
+    dispatch_latency_ns: int = 2 * US
+    #: Concurrent requests a server absorbs before ``power-aware-pack``
+    #: spills to the next one (0 = one slot per core).
+    pack_watermark: int = 0
+
+    def __post_init__(self) -> None:
+        if self.machine not in CONFIG_BUILDERS:
+            raise KeyError(
+                f"unknown config {self.machine!r}; have {sorted(CONFIG_BUILDERS)}"
+            )
+        if self.n_servers < 1:
+            raise ValueError(f"a fleet needs at least one server, got {self.n_servers}")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.routing!r}; have {ROUTING_POLICIES}"
+            )
+        if self.dispatch_latency_ns < 0:
+            raise ValueError(
+                f"dispatch latency cannot be negative: {self.dispatch_latency_ns}"
+            )
+        if self.pack_watermark < 0:
+            raise ValueError(
+                f"pack watermark cannot be negative: {self.pack_watermark} "
+                "(0 = one slot per core)"
+            )
+
+    def build_machine_config(self) -> MachineConfig:
+        """Instantiate the per-server machine configuration."""
+        return config_by_name(self.machine)
+
+    def resolved_pack_watermark(self) -> int:
+        """The watermark ``power-aware-pack`` actually applies.
+
+        0 means "one concurrency slot per core"; resolving it against
+        the machine config lets cache keys treat the default spelling
+        and its explicit value as the same physical experiment.
+        """
+        if self.pack_watermark > 0:
+            return self.pack_watermark
+        return self.build_machine_config().soc.n_cores
+
+    def label(self) -> str:
+        """Short human label (``CPC1Ax16/power-aware-pack``)."""
+        return f"{self.machine}x{self.n_servers}/{self.routing}"
+
+    def as_dict(self) -> dict:
+        """Plain-data form (JSON- and cache-key-friendly)."""
+        return asdict(self)
+
+
+class FleetMachine:
+    """A cluster: N identical servers behind one load balancer.
+
+    All machines run on one shared simulator, so cross-server event
+    ordering is globally deterministic for a fixed seed — the fleet
+    analogue of the single-machine determinism contract.
+    """
+
+    def __init__(self, cluster: ClusterConfig, seed: int = 0):
+        self.cluster = cluster
+        self.sim = Simulator(seed)
+        self.meter = PowerMeter(self.sim)
+        config = cluster.build_machine_config()
+        self.machines = [
+            ServerMachine(
+                config,
+                seed=seed,
+                sim=self.sim,
+                meter=self.meter,
+                channel_prefix=server_prefix(index),
+            )
+            for index in range(cluster.n_servers)
+        ]
+        self.balancer = LoadBalancer(
+            self.sim,
+            self.machines,
+            policy=cluster.routing,
+            dispatch_latency_ns=cluster.dispatch_latency_ns,
+            pack_watermark=cluster.pack_watermark,
+        )
+        self.received = 0
+
+    # -- request path ------------------------------------------------------
+    def inject(self, request: Request) -> None:
+        """A request arrives at the cluster edge (workload entry point).
+
+        Arrival is stamped here — before the balancer's dispatch
+        latency — so end-to-end latency includes the routing hop.
+        """
+        if request.arrival_ns is None:
+            request.arrival_ns = self.sim.now
+        self.received += 1
+        self.balancer.route(request)
+
+    # -- measurement -------------------------------------------------------
+    def begin_measurement(self) -> None:
+        """Zero every server's meters and the routing tallies."""
+        for machine in self.machines:
+            machine.begin_measurement()
+        self.balancer.reset_counters()
+        self.received = 0
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the shared simulation by a fixed amount of time."""
+        self.sim.run(until_ns=self.sim.now + duration_ns)
+
+    # -- aggregate views ---------------------------------------------------
+    @property
+    def n_servers(self) -> int:
+        return len(self.machines)
+
+    @property
+    def requests_completed(self) -> int:
+        """Requests completed across the whole fleet."""
+        return sum(machine.requests_completed for machine in self.machines)
+
+    def utilization(self) -> float:
+        """Mean processor utilization across the fleet's servers."""
+        total = sum(machine.utilization() for machine in self.machines)
+        return total / len(self.machines)
+
+    def stats(self) -> MachineStats:
+        """Kernel counters of the shared simulator (fleet-wide)."""
+        return MachineStats.from_simulator(self.sim)

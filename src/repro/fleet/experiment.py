@@ -1,0 +1,109 @@
+"""The fleet experiment driver: one workload across one cluster.
+
+``run_fleet_experiment`` mirrors
+:func:`~repro.server.experiment.run_experiment` one level up: build a
+:class:`~repro.fleet.cluster.FleetMachine`, let the scenario's single
+arrival stream warm the cluster through the balancer, measure one
+window, and return a :class:`~repro.fleet.result.FleetResult` with
+fleet totals, per-server breakdowns and the pooled latency
+distribution.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.cluster import ClusterConfig, FleetMachine
+from repro.fleet.result import FleetResult, ServerResult
+from repro.server.stats import summarize_latency_ns
+from repro.units import MS, ns_to_s
+from repro.workloads.base import Workload
+
+
+def run_fleet_experiment(
+    workload: Workload,
+    cluster: ClusterConfig,
+    duration_ns: int = 400 * MS,
+    warmup_ns: int = 50 * MS,
+    seed: int = 0,
+    fleet: FleetMachine | None = None,
+) -> FleetResult:
+    """Run ``workload`` against ``cluster`` and measure one window."""
+    if duration_ns <= 0:
+        raise ValueError(f"duration must be positive, got {duration_ns}")
+    if warmup_ns < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup_ns}")
+    if fleet is None:
+        fleet = FleetMachine(cluster, seed=seed)
+    else:
+        # Same contract as run_experiment's prebuilt machine: labels
+        # on the result must describe the fleet that produced it.
+        if fleet.cluster != cluster:
+            raise ValueError(
+                f"fleet was built for cluster {fleet.cluster.label()!r} "
+                f"but the experiment is labelled {cluster.label()!r}"
+            )
+        if fleet.sim.seed != seed:
+            raise ValueError(
+                f"fleet was built with seed {fleet.sim.seed} "
+                f"but the experiment is labelled seed {seed}"
+            )
+    workload.start(fleet.sim, fleet)
+    fleet.run_for(warmup_ns)
+    fleet.begin_measurement()
+    fleet.run_for(duration_ns)
+    return collect_fleet_result(fleet, workload, duration_ns, seed)
+
+
+def collect_fleet_result(
+    fleet: FleetMachine,
+    workload: Workload,
+    duration_ns: int,
+    seed: int,
+) -> FleetResult:
+    """Assemble a :class:`FleetResult` from a measured fleet."""
+    duration_s = ns_to_s(duration_ns)
+    cluster = fleet.cluster
+    # One pass over the shared meter; the per-machine channel prefixes
+    # split the readout into per-server package/DRAM domains.
+    readout = fleet.meter.readout()
+    servers = []
+    for index, machine in enumerate(fleet.machines):
+        package = readout.get(machine.package_domain)
+        dram = readout.get(machine.dram_domain)
+        servers.append(ServerResult(
+            index=index,
+            routed=fleet.balancer.routed[index],
+            requests_completed=machine.requests_completed,
+            package_power_w=(package.energy_j if package else 0.0) / duration_s,
+            dram_power_w=(dram.energy_j if dram else 0.0) / duration_s,
+            utilization=machine.utilization(),
+            package_residency=machine.package.residency.fractions(),
+            latency=machine.latency.summary(machine.config.network_latency_ns),
+        ))
+    # The pooled distribution is computed from the concatenated raw
+    # samples — exact percentiles, not a merge of per-server
+    # summaries (LatencySummary.merge is for when samples are gone).
+    pooled_samples = [
+        sample
+        for machine in fleet.machines
+        for sample in machine.latency.samples_ns()
+    ]
+    network_latency_ns = fleet.machines[0].config.network_latency_ns
+    completed = sum(server.requests_completed for server in servers)
+    return FleetResult(
+        config_name=cluster.machine,
+        n_servers=cluster.n_servers,
+        routing=cluster.routing,
+        dispatch_latency_ns=cluster.dispatch_latency_ns,
+        workload_name=workload.name,
+        seed=seed,
+        duration_ns=duration_ns,
+        offered_qps=workload.offered_qps,
+        requests_completed=completed,
+        achieved_qps=completed / duration_s,
+        package_power_w=sum(s.package_power_w for s in servers),
+        dram_power_w=sum(s.dram_power_w for s in servers),
+        utilization=sum(s.utilization for s in servers) / len(servers),
+        latency=summarize_latency_ns(pooled_samples, network_latency_ns),
+        servers=tuple(servers),
+        kernel=fleet.stats(),
+    )

@@ -1,0 +1,141 @@
+"""Power-aware request routing across a fleet of servers.
+
+The cluster's load balancer is the policy knob the paper's datacenter
+framing turns on: *where* requests land decides how long each server's
+all-idle periods get, and therefore how much package idle (PC1A/PC6)
+the fleet can actually harvest. SleepScale and the subsystem-level
+energy-proportionality line of work both show routing and per-server
+sleep states interact strongly; these policies reproduce the two ends
+of that trade:
+
+* ``round-robin`` — the classic even spread; every server stays
+  lukewarm, fragmenting package idleness fleet-wide.
+* ``least-outstanding`` — classic load balancing on queue depth;
+  latency-oriented, power-oblivious.
+* ``power-aware-pack`` — consolidate onto the lowest-numbered servers
+  up to a per-server concurrency watermark, so the remaining servers
+  see long uninterrupted idle and reach deep package states.
+* ``power-aware-spread`` — deliberately rotate across the least-busy
+  servers, the adversarial baseline that maximizes wake fan-out
+  (best per-request queueing, worst package idleness).
+
+The balancer adds a configurable ``dispatch_latency_ns`` to every
+routed request (the ToR hop plus the balancer's own decision time),
+so the latency cost of indirection is part of the measured
+end-to-end distribution rather than an invisible idealization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.server.machine import ServerMachine
+from repro.sim.engine import Simulator
+from repro.workloads.base import Request
+
+ROUTING_POLICIES = (
+    "round-robin",
+    "least-outstanding",
+    "power-aware-pack",
+    "power-aware-spread",
+)
+
+
+class LoadBalancer:
+    """Routes one arrival stream across the fleet's machines.
+
+    Outstanding-request accounting is balancer-owned (incremented at
+    routing time, decremented by each machine's completion hook), so
+    it survives measurement-window resets and never double-counts
+    requests still in flight across a window boundary.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machines: Sequence[ServerMachine],
+        policy: str = "round-robin",
+        dispatch_latency_ns: int = 0,
+        pack_watermark: int = 0,
+    ):
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; have {ROUTING_POLICIES}"
+            )
+        if not machines:
+            raise ValueError("a load balancer needs at least one machine")
+        if dispatch_latency_ns < 0:
+            raise ValueError(
+                f"dispatch latency cannot be negative: {dispatch_latency_ns}"
+            )
+        self.sim = sim
+        self.machines = list(machines)
+        self.policy = policy
+        self.dispatch_latency_ns = int(dispatch_latency_ns)
+        # 0 = auto: one concurrency slot per core, i.e. pack a server
+        # until every core has work before spilling to the next one.
+        if pack_watermark <= 0:
+            pack_watermark = len(self.machines[0].cores)
+        self.pack_watermark = pack_watermark
+        n = len(self.machines)
+        self.outstanding = [0] * n
+        self.routed = [0] * n
+        self.dispatched = 0
+        self._cursor = 0
+        for index, machine in enumerate(self.machines):
+            machine.on_request_complete = self._completion_hook(index)
+
+    def _completion_hook(self, index: int):
+        def on_complete(request: Request) -> None:
+            self.outstanding[index] -= 1
+
+        return on_complete
+
+    # -- policy ------------------------------------------------------------
+    def pick(self) -> int:
+        """Index of the machine the next request is routed to."""
+        n = len(self.machines)
+        if self.policy == "round-robin":
+            index = self._cursor % n
+            self._cursor += 1
+            return index
+        outstanding = self.outstanding
+        if self.policy == "least-outstanding":
+            return min(range(n), key=lambda i: (outstanding[i], i))
+        if self.policy == "power-aware-pack":
+            # Fill the lowest-numbered servers first; a server only
+            # spills once it holds a full watermark of concurrent
+            # work, so the tail of the fleet sees unbroken idle.
+            for index in range(n):
+                if outstanding[index] < self.pack_watermark:
+                    return index
+            return min(range(n), key=lambda i: (outstanding[i], i))
+        # "power-aware-spread": least outstanding, rotating the
+        # tie-break so consecutive requests land on different servers
+        # — every server keeps waking, by design.
+        index = min(range(n), key=lambda i: (outstanding[i], (i - self._cursor) % n))
+        self._cursor = index + 1
+        return index
+
+    # -- dispatch ----------------------------------------------------------
+    def route(self, request: Request) -> int:
+        """Route one request; returns the chosen machine index."""
+        index = self.pick()
+        self.routed[index] += 1
+        self.dispatched += 1
+        self.outstanding[index] += 1
+        machine = self.machines[index]
+        if self.dispatch_latency_ns == 0:
+            machine.inject(request)
+        else:
+            self.sim.schedule(self.dispatch_latency_ns, machine.inject, request)
+        return index
+
+    def reset_counters(self) -> None:
+        """Zero the routed/dispatched tallies (measurement boundary).
+
+        Outstanding counts are live state, not a measurement, and are
+        deliberately left alone.
+        """
+        self.routed = [0] * len(self.machines)
+        self.dispatched = 0

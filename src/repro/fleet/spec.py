@@ -1,0 +1,236 @@
+"""Declarative fleet sweep grids: workloads x clusters x seeds.
+
+A :class:`FleetCell` is the fleet analogue of
+:class:`~repro.sweep.spec.ExperimentSpec`: plain data naming one
+fully-determined cluster measurement. Cells run through the ordinary
+:class:`~repro.sweep.session.SweepSession` — the session calls their
+:meth:`FleetCell.simulate` hook instead of the single-machine path —
+so fleet sweeps inherit the whole orchestration stack for free:
+worker-pool fan-out with serial==parallel determinism, content-hash
+store caching (fleet records carry their own ``kind`` tag), streaming
+CSV, and progress/stats plumbing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.fleet.cluster import ClusterConfig
+from repro.fleet.result import FleetResult
+from repro.sweep.spec import (
+    WorkloadPoint,
+    _normalize_scenario,
+    canonical_point,
+    resolve_window,
+)
+from repro.units import US
+from repro.workloads.base import Workload
+
+#: Bump when the fleet cell schema or measurement semantics change;
+#: independent of the single-machine SCHEMA_VERSION because the two
+#: record kinds can never alias anyway (the key payloads differ).
+FLEET_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FleetCell:
+    """One fully-determined fleet sweep cell (a single fleet run)."""
+
+    workload: str
+    qps: float
+    preset: str
+    machine: str
+    n_servers: int
+    routing: str
+    seed: int
+    duration_ns: int
+    warmup_ns: int
+    dispatch_latency_ns: int = 2 * US
+    pack_watermark: int = 0
+    scenario: str = ""
+
+    def __post_init__(self) -> None:
+        workload, scenario = _normalize_scenario(self.workload, self.scenario)
+        object.__setattr__(self, "workload", workload)
+        object.__setattr__(self, "scenario", scenario)
+        # Validates machine/n_servers/routing/dispatch latency.
+        self.cluster()
+        if self.duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_ns}")
+        if self.warmup_ns < 0:
+            raise ValueError(f"warmup must be non-negative, got {self.warmup_ns}")
+        object.__setattr__(self, "qps", float(self.qps))
+
+    # -- construction ------------------------------------------------------
+    def cluster(self) -> ClusterConfig:
+        """Instantiate the cell's cluster configuration."""
+        return ClusterConfig(
+            machine=self.machine,
+            n_servers=self.n_servers,
+            routing=self.routing,
+            dispatch_latency_ns=self.dispatch_latency_ns,
+            pack_watermark=self.pack_watermark,
+        )
+
+    def build_workload(self) -> Workload:
+        """Instantiate the cell's workload (one stream for the fleet)."""
+        from repro.scenarios import registry as scenarios
+
+        return scenarios.build(self.scenario, self.qps, self.preset)
+
+    def simulate(self) -> FleetResult:
+        """Run this cell from scratch (the session's execution hook)."""
+        from repro.fleet.experiment import run_fleet_experiment
+
+        return run_fleet_experiment(
+            self.build_workload(),
+            self.cluster(),
+            duration_ns=self.duration_ns,
+            warmup_ns=self.warmup_ns,
+            seed=self.seed,
+        )
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def config(self) -> str:
+        """The per-server config name (diagnostic-label parity with
+        :class:`~repro.sweep.spec.ExperimentSpec`)."""
+        return self.machine
+
+    @property
+    def preset_label(self) -> str:
+        """The preset, when it selects this cell's operating point."""
+        from repro.scenarios import registry as scenarios
+
+        return self.preset if scenarios.get(self.scenario).uses_preset else ""
+
+    def as_dict(self) -> dict:
+        """Plain-data form (JSON- and pickle-friendly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetCell":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**data)
+
+    def key(self) -> str:
+        """Content hash identifying this cell in a result store.
+
+        Canonicalizes the workload point exactly like single-machine
+        cells (rate 0 == idle, trace contents, preset relevance) and
+        folds the whole cluster shape in, so two routings of one load
+        are distinct cells while alias spellings of one physical fleet
+        experiment share an entry.
+        """
+        cached = getattr(self, "_key", None)
+        if cached is not None:
+            return cached
+        payload = {
+            "fleet_schema": FLEET_SCHEMA_VERSION,
+            **canonical_point(self.scenario, self.qps, self.preset),
+            "machine": self.machine,
+            "n_servers": self.n_servers,
+            "routing": self.routing,
+            "dispatch_latency_ns": self.dispatch_latency_ns,
+            # Only power-aware-pack reads the watermark, and 0 is an
+            # alias for the per-core default — canonicalize both so a
+            # watermark spelling can never fork the cache key of a
+            # physically identical experiment.
+            "pack_watermark": (
+                self.cluster().resolved_pack_watermark()
+                if self.routing == "power-aware-pack"
+                else 0
+            ),
+            "seed": self.seed,
+            "duration_ns": self.duration_ns,
+            "warmup_ns": self.warmup_ns,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(blob.encode()).hexdigest()[:24]
+        object.__setattr__(self, "_key", digest)
+        return digest
+
+    def label(self) -> str:
+        """Short human label for logs and progress lines."""
+        point = WorkloadPoint(
+            self.workload, self.qps, self.preset, scenario=self.scenario
+        )
+        return (
+            f"{self.machine}x{self.n_servers}/{self.routing}/"
+            f"{point.label()}/seed{self.seed}"
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A declarative fleet experiment grid.
+
+    Expansion order is deterministic: clusters (outermost) x workload
+    points x seeds (innermost) — mirroring :class:`SweepSpec` with the
+    cluster axis in place of the config axis.
+    """
+
+    workloads: tuple[WorkloadPoint, ...]
+    clusters: tuple[ClusterConfig, ...]
+    seeds: tuple[int, ...] = (0,)
+    duration_ns: int | None = None
+    warmup_ns: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("a fleet sweep needs at least one workload point")
+        if not self.clusters:
+            raise ValueError("a fleet sweep needs at least one cluster")
+        if not self.seeds:
+            raise ValueError("a fleet sweep needs at least one seed")
+        for label, values in (("seeds", self.seeds), ("clusters", self.clusters),
+                              ("workload points", self.workloads)):
+            if len(set(values)) != len(values):
+                raise ValueError(f"duplicate {label} in fleet sweep: {values}")
+        if self.duration_ns is not None and self.duration_ns <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_ns}")
+        keys = [cell.key() for cell in self.cells()]
+        if len(set(keys)) != len(keys):
+            raise ValueError(
+                "fleet sweep contains equivalent spellings of the same "
+                "experiment (e.g. two rate-0 points of different scenarios)"
+            )
+
+    def cells(self) -> list[FleetCell]:
+        """Expand the grid into its fleet cells (cached; spec is frozen)."""
+        cached = getattr(self, "_expanded", None)
+        if cached is None:
+            cached = []
+            for cluster in self.clusters:
+                # Default windows are sized to the *per-server* rate:
+                # the point's QPS is aggregate fleet load, but idle
+                # periods (the thing long windows exist to observe)
+                # accrue per server.
+                windows = [
+                    resolve_window(point, self.duration_ns, self.warmup_ns,
+                                   rate_divisor=cluster.n_servers)
+                    for point in self.workloads
+                ]
+                for point, (duration, warmup) in zip(self.workloads, windows):
+                    for seed in self.seeds:
+                        cached.append(FleetCell(
+                            workload=point.workload,
+                            qps=point.qps,
+                            preset=point.preset,
+                            machine=cluster.machine,
+                            n_servers=cluster.n_servers,
+                            routing=cluster.routing,
+                            seed=seed,
+                            duration_ns=duration,
+                            warmup_ns=warmup,
+                            dispatch_latency_ns=cluster.dispatch_latency_ns,
+                            pack_watermark=cluster.pack_watermark,
+                            scenario=point.scenario,
+                        ))
+            object.__setattr__(self, "_expanded", cached)
+        return list(cached)
+
+    def __len__(self) -> int:
+        return len(self.clusters) * len(self.workloads) * len(self.seeds)

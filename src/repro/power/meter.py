@@ -119,7 +119,11 @@ class PowerMeter:
     def channel(self, name: str, domain: str, power_w: float = 0.0) -> PowerChannel:
         """Create (and register) a new uniquely named channel."""
         if name in self._channels:
-            raise ValueError(f"duplicate power channel {name!r}")
+            raise ValueError(
+                f"duplicate power channel {name!r} on this meter; "
+                "machines sharing one meter must register their channels "
+                "under distinct prefixes (ServerMachine(channel_prefix=...))"
+            )
         channel = PowerChannel(self.sim, name, domain, power_w)
         self._channels[name] = channel
         self._by_domain = None  # registration invalidates the domain cache

@@ -31,12 +31,15 @@ class RaplInterface:
     #: The hardware counter is 32 bits wide and wraps silently.
     COUNTER_MASK = (1 << 32) - 1
 
-    def __init__(self, meter: PowerMeter):
+    def __init__(self, meter: PowerMeter, domain_prefix: str = ""):
         self.meter = meter
+        #: Per-machine domain prefix on a shared fleet meter (a
+        #: machine's RAPL only ever reads its own package/DRAM).
+        self.domain_prefix = domain_prefix
 
     def read_counter(self, domain: RaplDomain) -> int:
         """Raw 32-bit energy-status counter value for a domain."""
-        energy_j = self.meter.energy_j(domain.value)
+        energy_j = self.meter.energy_j(self.domain_prefix + domain.value)
         return int(energy_j / self.ENERGY_UNIT_J) & self.COUNTER_MASK
 
     def read_energy_j(self, domain: RaplDomain) -> float:

@@ -125,8 +125,10 @@ def collect_result(
     # One pass over all power channels instead of a filter-and-sum per
     # domain; accumulation order matches per-domain energy_j() exactly.
     power = machine.meter.readout()
-    package_energy_j = power["package"].energy_j if "package" in power else 0.0
-    dram_energy_j = power["dram"].energy_j if "dram" in power else 0.0
+    package = power.get(machine.package_domain)
+    dram = power.get(machine.dram_domain)
+    package_energy_j = package.energy_j if package is not None else 0.0
+    dram_energy_j = dram.energy_j if dram is not None else 0.0
     return ExperimentResult(
         config_name=machine.config.name,
         workload_name=workload.name,

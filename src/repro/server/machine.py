@@ -24,7 +24,7 @@ from repro.power.rapl import RaplInterface
 from repro.server.configs import MachineConfig
 from repro.server.dispatch import Dispatcher
 from repro.server.nic import Nic
-from repro.server.recycle import MachineCheckpoint
+from repro.server.recycle import CheckpointError, MachineCheckpoint
 from repro.server.stats import LatencyRecorder, MachineStats
 from repro.server.ticks import OsTimerTicks
 from repro.sim.engine import Simulator
@@ -41,24 +41,66 @@ from repro.workloads.base import Request
 
 
 class ServerMachine:
-    """One server: the paper's Xeon Silver 4114 under a given config."""
+    """One server: the paper's Xeon Silver 4114 under a given config.
 
-    def __init__(self, config: MachineConfig, seed: int = 0):
+    By default a machine owns its whole measurement substrate: it
+    builds a private :class:`Simulator` seeded with ``seed`` and a
+    private :class:`PowerMeter`. A fleet composes N machines under one
+    kernel instead: pass an externally-owned ``sim`` (and usually a
+    shared ``meter`` plus a per-machine ``channel_prefix`` so the N
+    machines' identically-named channels cannot collide on it). The
+    prefix is applied to channel *and* domain names, so a shared
+    meter's readout splits per machine (``s03.package``) while a
+    machine built with the defaults keeps the historical bare
+    ``package``/``dram`` domains.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        seed: int = 0,
+        *,
+        sim: Simulator | None = None,
+        meter: PowerMeter | None = None,
+        channel_prefix: str = "",
+    ):
         self.config = config
-        self.sim = Simulator(seed)
+        if sim is None and meter is not None:
+            sim = meter.sim
+        self._owns_sim = sim is None
+        self.sim = Simulator(seed) if sim is None else sim
+        self._owns_meter = meter is None
+        if meter is not None and meter.sim is not self.sim:
+            raise ValueError(
+                "meter and machine must share one simulator; the meter "
+                "integrates channels against its own kernel's clock"
+            )
+        self.meter = PowerMeter(self.sim) if meter is None else meter
+        self.channel_prefix = channel_prefix
+        #: Domain tags this machine's channels carry on the meter.
+        self.package_domain = channel_prefix + "package"
+        self.dram_domain = channel_prefix + "dram"
+        self._channels = []
+
+        def channel(name: str, domain: str, power_w: float = 0.0):
+            ch = self.meter.channel(
+                channel_prefix + name, channel_prefix + domain, power_w
+            )
+            self._channels.append(ch)
+            return ch
+
         soc = config.soc
         budget = soc.budget
         self.budget = budget
-        self.meter = PowerMeter(self.sim)
-        self.rapl = RaplInterface(self.meter)
+        self.rapl = RaplInterface(self.meter, domain_prefix=channel_prefix)
         # Always-on north-cap power (GPMU + misc + leakage).
-        self.meter.channel("uncore_static", "package", budget.uncore_base_w())
+        channel("uncore_static", "package", budget.uncore_base_w())
         # CLM domain (CHA/LLC/mesh) with its FIVRs, PLL and clock tree.
         self.clm = ClmDomain(
             self.sim,
             budget.clm,
-            self.meter.channel("clm", "package"),
-            pll_channel=self.meter.channel("pll.clm", "package"),
+            channel("clm", "package"),
+            pll_channel=channel("pll.clm", "package"),
             apmu_cycle_ns=soc.pmu_cycle_ns,
         )
         # High-speed IO links and their PLLs.
@@ -67,16 +109,16 @@ class ServerMachine:
             for index in range(count):
                 link = make_link(
                     self.sim, kind, index,
-                    self.meter.channel(f"link.{kind}{index}", "package"),
+                    channel(f"link.{kind}{index}", "package"),
                 )
                 self.links.append(link)
         self.link_plls = [
             Pll(self.sim, f"pll.{link.name}",
-                channel=self.meter.channel(f"pll.{link.name}", "package"))
+                channel=channel(f"pll.{link.name}", "package"))
             for link in self.links
         ]
         self.gpmu_pll = Pll(
-            self.sim, "pll.gpmu", channel=self.meter.channel("pll.gpmu", "package")
+            self.sim, "pll.gpmu", channel=channel("pll.gpmu", "package")
         )
         #: The 8 uncore PLLs of Sec. 5.4 (off in PC6, on in PC1A).
         self.uncore_plls = [self.clm.pll] + self.link_plls + [self.gpmu_pll]
@@ -86,11 +128,11 @@ class ServerMachine:
         for index in range(soc.n_mc):
             device = DramDevice(
                 self.sim, f"dram{index}", budget.dram,
-                self.meter.channel(f"dram{index}", "dram"),
+                channel(f"dram{index}", "dram"),
             )
             controller = MemoryController(
                 self.sim, f"mc{index}", budget.mc, DDR4_2666,
-                self.meter.channel(f"mc{index}", "package"), device,
+                channel(f"mc{index}", "package"), device,
             )
             self.dram_devices.append(device)
             self.memory_controllers.append(controller)
@@ -100,7 +142,7 @@ class ServerMachine:
         self.cores = [
             Core(
                 self.sim, index, budget.core, self.governor,
-                self.meter.channel(f"core{index}", "package"), package=None,
+                channel(f"core{index}", "package"), package=None,
             )
             for index in range(soc.n_cores)
         ]
@@ -137,6 +179,9 @@ class ServerMachine:
         self.latency = LatencyRecorder()
         self._next_mc = 0
         self.requests_completed = 0
+        #: Optional completion hook (a fleet's load balancer uses it to
+        #: track per-server outstanding requests).
+        self.on_request_complete = None
         # Observability: the fully-idle signal and its consumers.
         self._all_idle_tree = AndTree(
             "machine.AllIdle", [core.in_cc1 for core in self.cores]
@@ -156,9 +201,17 @@ class ServerMachine:
         construction-time events on restore). Raises
         :class:`~repro.server.recycle.CheckpointError` for machines
         whose state cannot be snapshotted faithfully — e.g. configs
-        with OS timer ticks armed at construction; callers treat those
-        as non-recyclable and rebuild per cell.
+        with OS timer ticks armed at construction, or machines built
+        on an externally-owned simulator (restoring would reset a
+        kernel other machines still run on); callers treat those as
+        non-recyclable and rebuild per cell.
         """
+        if not self._owns_sim:
+            raise CheckpointError(
+                "cannot checkpoint a machine on an externally-owned "
+                "simulator: restore() would reset a kernel shared with "
+                "other machines"
+            )
         self._checkpoint = MachineCheckpoint(self)
 
     def recycle(self, config: MachineConfig, seed: int) -> None:
@@ -211,11 +264,19 @@ class ServerMachine:
         self.requests_completed += 1
         self.latency.record(request.server_latency_ns)
         self.nic.send_response(request)
+        if self.on_request_complete is not None:
+            self.on_request_complete(request)
 
     # -- measurement windows -----------------------------------------------
     def begin_measurement(self) -> None:
         """Zero all meters, counters and traces (end of warmup)."""
-        self.meter.reset()
+        if self._owns_meter:
+            self.meter.reset()
+        else:
+            # A shared meter carries other machines' channels too;
+            # only this machine's accumulation restarts.
+            for channel in self._channels:
+                channel.reset()
         self.latency.reset()
         self.idle_tracker.reset()
         self.active_sampler.reset()

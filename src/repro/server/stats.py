@@ -15,6 +15,7 @@ speed across PRs.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -81,8 +82,70 @@ class LatencySummary:
             "max_us": self.max_us,
         }
 
+    @staticmethod
+    def merge(summaries: Sequence[LatencySummary]) -> "LatencySummary":
+        """Pool per-server (or per-seed) summaries into one distribution.
+
+        ``count`` sums, ``mean`` is the exact count-weighted mean and
+        ``max`` the true maximum. The percentiles cannot be recovered
+        exactly from per-source percentiles, so they are count-weighted
+        averages — exact when the sources are identically distributed,
+        and an interpolation that respects each source's sample weight
+        when they are skewed (a server carrying 100x the requests
+        dominates the pooled tail). Empty summaries contribute nothing;
+        merging none (or only empties) yields :data:`EMPTY_SUMMARY`.
+        When the raw samples are still available, pool them through
+        :func:`summarize_latency_ns` instead — that is exact.
+        """
+        live = [s for s in summaries if s.count > 0]
+        if not live:
+            return EMPTY_SUMMARY
+        if len(live) == 1:
+            return live[0]
+        total = sum(s.count for s in live)
+
+        def pooled(field: str) -> float:
+            return sum(getattr(s, field) * s.count for s in live) / total
+
+        return LatencySummary(
+            count=total,
+            mean_us=pooled("mean_us"),
+            p50_us=pooled("p50_us"),
+            p95_us=pooled("p95_us"),
+            p99_us=pooled("p99_us"),
+            p999_us=pooled("p999_us"),
+            max_us=max(s.max_us for s in live),
+        )
+
 
 EMPTY_SUMMARY = LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarize_latency_ns(
+    samples_ns: Sequence[int], network_latency_ns: int = 0
+) -> LatencySummary:
+    """Exact percentile summary of raw latency samples.
+
+    The one implementation behind :meth:`LatencyRecorder.summary` and
+    the fleet's pooled distribution: whenever raw samples are in hand
+    (a recorder's, or several servers' concatenated), percentiles are
+    computed from the actual pooled distribution —
+    :meth:`LatencySummary.merge` is only for pooling summaries whose
+    samples are gone (store-loaded results, per-seed aggregation).
+    """
+    if not samples_ns:
+        return EMPTY_SUMMARY
+    data = np.asarray(samples_ns, dtype=np.float64) + network_latency_ns
+    p50, p95, p99, p999 = np.percentile(data, [50, 95, 99, 99.9])
+    return LatencySummary(
+        count=len(samples_ns),
+        mean_us=ns_to_us(float(data.mean())),
+        p50_us=ns_to_us(float(p50)),
+        p95_us=ns_to_us(float(p95)),
+        p99_us=ns_to_us(float(p99)),
+        p999_us=ns_to_us(float(p999)),
+        max_us=ns_to_us(float(data.max())),
+    )
 
 
 class LatencyRecorder:
@@ -112,16 +175,4 @@ class LatencyRecorder:
 
     def summary(self, network_latency_ns: int = 0) -> LatencySummary:
         """Percentile summary with network latency folded in."""
-        if not self._samples_ns:
-            return EMPTY_SUMMARY
-        data = np.asarray(self._samples_ns, dtype=np.float64) + network_latency_ns
-        p50, p95, p99, p999 = np.percentile(data, [50, 95, 99, 99.9])
-        return LatencySummary(
-            count=len(self._samples_ns),
-            mean_us=ns_to_us(float(data.mean())),
-            p50_us=ns_to_us(float(p50)),
-            p95_us=ns_to_us(float(p95)),
-            p99_us=ns_to_us(float(p99)),
-            p999_us=ns_to_us(float(p999)),
-            max_us=ns_to_us(float(data.max())),
-        )
+        return summarize_latency_ns(self._samples_ns, network_latency_ns)

@@ -87,10 +87,14 @@ class SweepResults:
     def select(self, **criteria) -> list[ExperimentResult]:
         """Results whose cell matches every criterion.
 
-        Criteria name :class:`ExperimentSpec` fields, e.g.
-        ``select(config="CPC1A", qps=4000)``.
+        Criteria name cell fields — :class:`ExperimentSpec` fields for
+        ordinary sweeps (e.g. ``select(config="CPC1A", qps=4000)``),
+        fleet-cell fields (``routing``, ``n_servers``) for fleet runs.
         """
-        fields = ExperimentSpec.__dataclass_fields__
+        cell_type = type(self.cells[0]) if self.cells else ExperimentSpec
+        fields = getattr(
+            cell_type, "__dataclass_fields__", ExperimentSpec.__dataclass_fields__
+        )
         unknown = [name for name in criteria if name not in fields]
         if unknown:
             raise TypeError(

@@ -137,16 +137,23 @@ def _cell_task(payload):
         # wall clock charges descheduled time to whichever cell was
         # in flight, which would garble the build/simulate split.
         build_start = process_time()
-        machine = _machine_for(spec)
-        sim_start = process_time()
-        result = run_experiment(
-            spec.build_workload(),
-            machine.config,
-            duration_ns=spec.duration_ns,
-            warmup_ns=spec.warmup_ns,
-            seed=spec.seed,
-            machine=machine,
-        )
+        simulate = getattr(spec, "simulate", None)
+        if simulate is not None:
+            # Self-simulating cells (the fleet's) own their whole
+            # build+measure flow; no warm-machine reuse applies.
+            sim_start = build_start
+            result = simulate()
+        else:
+            machine = _machine_for(spec)
+            sim_start = process_time()
+            result = run_experiment(
+                spec.build_workload(),
+                machine.config,
+                duration_ns=spec.duration_ns,
+                warmup_ns=spec.warmup_ns,
+                seed=spec.seed,
+                machine=machine,
+            )
         done = process_time()
         if store is not None:
             store.put(key, result, spec=spec)

@@ -133,6 +133,35 @@ class WorkloadPoint:
         return self.scenario
 
 
+def resolve_window(
+    point: WorkloadPoint,
+    duration_ns: int | None = None,
+    warmup_ns: int | None = None,
+    rate_divisor: int = 1,
+) -> tuple[int, int]:
+    """Resolve one point's (duration, warmup) measurement window.
+
+    Point-level overrides win, then the grid-level values, then the
+    rate-sized defaults — the precedence every grid kind
+    (:class:`SweepSpec`, the fleet's spec) shares. ``rate_divisor``
+    scales the rate the default window is sized for: a fleet point's
+    QPS is the *aggregate* offered load, but idle-period statistics
+    accrue per server, so an N-server grid sizes windows to the
+    per-server rate (low per-server rates need long windows).
+    """
+    duration = point.duration_ns
+    if duration is None:
+        duration = duration_ns
+    if duration is None:
+        duration = duration_for_rate(point.build().offered_qps / rate_divisor)
+    warmup = point.warmup_ns
+    if warmup is None:
+        warmup = warmup_ns
+    if warmup is None:
+        warmup = warmup_for_duration(duration)
+    return duration, warmup
+
+
 def memcached_points(rates: tuple[float, ...] | list[float]) -> tuple[WorkloadPoint, ...]:
     """Rate list -> memcached points (rate 0 = the fully idle server)."""
     return tuple(WorkloadPoint("memcached", qps=float(r)) for r in rates)
@@ -141,6 +170,34 @@ def memcached_points(rates: tuple[float, ...] | list[float]) -> tuple[WorkloadPo
 def preset_points(workload: str, presets: tuple[str, ...] | list[str]) -> tuple[WorkloadPoint, ...]:
     """Preset list -> mysql/kafka points."""
     return tuple(WorkloadPoint(workload, preset=p) for p in presets)
+
+
+def canonical_point(scenario: str, qps: float, preset: str) -> dict:
+    """Canonical (scenario, qps, preset) triple for cache keys.
+
+    Different spellings of one physical operating point must share a
+    cache entry: rate 0 is the idle server whatever the scenario is
+    named, the preset only counts for preset/trace-driven scenarios
+    (trace points are keyed by trace *contents*), and the rate only
+    counts for rate-driven ones. Shared by every cell kind that keys a
+    result store (:class:`ExperimentSpec`, the fleet's cells).
+    """
+    kind = scenarios.get(scenario).kind
+    if kind == "rate":
+        if qps == 0:
+            # Every rate-driven scenario at rate 0 is the same fully
+            # idle server.
+            return {"scenario": "idle", "qps": 0.0, "preset": ""}
+        return {"scenario": scenario, "qps": qps, "preset": ""}
+    if kind == "preset":
+        return {"scenario": scenario, "qps": 0.0, "preset": preset}
+    if kind == "trace":
+        # Key the trace *contents*: a re-recorded trace must
+        # re-simulate, and alias spellings of one file (relative vs
+        # absolute, the bundled-default aliases) must share an entry.
+        token = scenarios.get(scenario).trace_token(preset)
+        return {"scenario": scenario, "qps": 0.0, "preset": token}
+    return {"scenario": scenario, "qps": 0.0, "preset": ""}
 
 
 @dataclass(frozen=True)
@@ -225,31 +282,9 @@ class ExperimentSpec:
         cached = getattr(self, "_key", None)
         if cached is not None:
             return cached
-        scenario = self.scenario
-        kind = scenarios.get(scenario).kind
-        qps = self.qps
-        preset = ""
-        if kind == "rate" and qps == 0:
-            # Every rate-driven scenario at rate 0 is the same fully
-            # idle server.
-            scenario, kind = "idle", "fixed"
-        if kind == "preset":
-            qps = 0.0  # the builder ignores the rate here
-            preset = self.preset
-        elif kind == "trace":
-            qps = 0.0
-            # Key the trace *contents*: a re-recorded trace must
-            # re-simulate, and alias spellings of one file (relative
-            # vs absolute, the bundled-default aliases) must share a
-            # cache entry.
-            preset = scenarios.get(scenario).trace_token(self.preset)
-        elif kind == "fixed":
-            qps = 0.0
         payload = {
             "schema": SCHEMA_VERSION,
-            "scenario": scenario,
-            "qps": qps,
-            "preset": preset,
+            **canonical_point(self.scenario, self.qps, self.preset),
             "config": self.config,
             "seed": self.seed,
             "duration_ns": self.duration_ns,
@@ -317,17 +352,7 @@ class SweepSpec:
 
     def _window(self, point: WorkloadPoint) -> tuple[int, int]:
         """Resolve (duration, warmup) for one point."""
-        duration = point.duration_ns
-        if duration is None:
-            duration = self.duration_ns
-        if duration is None:
-            duration = duration_for_rate(point.build().offered_qps)
-        warmup = point.warmup_ns
-        if warmup is None:
-            warmup = self.warmup_ns
-        if warmup is None:
-            warmup = warmup_for_duration(duration)
-        return duration, warmup
+        return resolve_window(point, self.duration_ns, self.warmup_ns)
 
     def cells(self) -> list[ExperimentSpec]:
         """Expand the grid into its experiment cells.

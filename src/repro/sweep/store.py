@@ -29,6 +29,37 @@ def result_to_dict(result: ExperimentResult) -> dict:
     return asdict(result)
 
 
+def _encode_result(result) -> tuple[str, dict]:
+    """(kind tag, plain-data payload) for any storable result type.
+
+    Single-server cells store :class:`ExperimentResult`; fleet cells
+    store :class:`~repro.fleet.result.FleetResult`, which carries its
+    own ``result_kind`` tag and ``as_dict``/``from_dict`` pair. The
+    tag is persisted in the record so :meth:`ResultStore.get` can
+    decode without guessing.
+    """
+    if isinstance(result, ExperimentResult):
+        return "experiment", result_to_dict(result)
+    kind = getattr(result, "result_kind", None)
+    if kind == "fleet":
+        return kind, result.as_dict()
+    raise TypeError(
+        f"cannot store a result of type {type(result).__name__!r}"
+    )
+
+
+def _decode_result(kind: str | None, data: dict):
+    """Inverse of :func:`_encode_result` (records predating the tag
+    are experiment records)."""
+    if kind in (None, "experiment"):
+        return result_from_dict(data)
+    if kind == "fleet":
+        from repro.fleet.result import FleetResult
+
+        return FleetResult.from_dict(data)
+    raise ValueError(f"unknown result kind {kind!r}")
+
+
 def result_from_dict(data: dict) -> ExperimentResult:
     """Inverse of :func:`result_to_dict`.
 
@@ -148,7 +179,8 @@ class StreamingCsvWriter:
     discards the temp file instead.
     """
 
-    def __init__(self, path: str | Path, columns: tuple[str, ...] | None = None):
+    def __init__(self, path: str | Path, columns: tuple[str, ...] | None = None,
+                 flatten=None):
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._tmp = self._path.with_name(f"{self._path.name}.{os.getpid()}.tmp")
@@ -158,13 +190,16 @@ class StreamingCsvWriter:
             fieldnames=columns if columns is not None else CSV_COLUMNS,
             extrasaction="ignore",
         )
+        #: ``flatten(result, spec=...) -> row dict``; the default is the
+        #: experiment-result flattener (fleet CSVs pass their own).
+        self._flatten = flatten if flatten is not None else flatten_result
         self._writer.writeheader()
         self.rows = 0
 
     def write(self, result: ExperimentResult,
               spec: ExperimentSpec | None = None) -> None:
         """Append one cell's row."""
-        self._writer.writerow(flatten_result(result, spec=spec))
+        self._writer.writerow(self._flatten(result, spec=spec))
         self.rows += 1
 
     def close(self) -> None:
@@ -245,7 +280,7 @@ class ResultStore:
         path = self._path(key)
         try:
             record = json.loads(path.read_text())
-            result = result_from_dict(record["result"])
+            result = _decode_result(record.get("kind"), record["result"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
@@ -264,10 +299,12 @@ class ResultStore:
         name carries the writer's PID so concurrent puts of one key
         never interleave, and a failed write cleans its temp file up.
         """
+        kind, payload = _encode_result(result)
         record = {
             "key": key,
+            "kind": kind,
             "spec": spec.as_dict() if spec is not None else None,
-            "result": result_to_dict(result),
+            "result": payload,
         }
         path = self._path(key)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")

@@ -60,6 +60,20 @@ class TestPowerMeter:
         with pytest.raises(ValueError):
             meter.channel("c", "dram")
 
+    def test_duplicate_error_names_the_channel_and_the_fix(self, meter):
+        meter.channel("core0", "package")
+        with pytest.raises(ValueError, match="duplicate power channel 'core0'"):
+            meter.channel("core0", "package")
+        with pytest.raises(ValueError, match="channel_prefix"):
+            meter.channel("core0", "package")
+
+    def test_prefixed_channels_coexist_on_one_meter(self, meter):
+        a = meter.channel("s00.core0", "s00.package", power_w=1.0)
+        b = meter.channel("s01.core0", "s01.package", power_w=2.0)
+        assert a is not b
+        assert meter.power_w("s00.package") == pytest.approx(1.0)
+        assert meter.power_w("s01.package") == pytest.approx(2.0)
+
     def test_domain_filtering(self, sim, meter):
         meter.channel("a", "package", power_w=10.0)
         meter.channel("b", "dram", power_w=2.0)

@@ -5,6 +5,7 @@ import pytest
 from repro.server.configs import MachineConfig, cdeep, config_by_name, cpc1a, cshallow
 from repro.server.dispatch import Dispatcher
 from repro.server.experiment import run_experiment
+from repro.server.machine import ServerMachine
 from repro.server.stats import LatencyRecorder
 from repro.units import MS, US
 from repro.workloads.base import NullWorkload, Request
@@ -250,3 +251,83 @@ class TestRunExperiment:
             run_experiment(NullWorkload(), cshallow(), duration_ns=0)
         with pytest.raises(ValueError):
             run_experiment(NullWorkload(), cshallow(), duration_ns=1, warmup_ns=-1)
+
+
+class TestExternalSimulator:
+    """ServerMachine composed on an externally-owned kernel (the
+    fleet's construction mode)."""
+
+    def build_pair(self, seed=3):
+        from repro.power.meter import PowerMeter
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed)
+        meter = PowerMeter(sim)
+        machines = [
+            ServerMachine(cpc1a(), seed=seed, sim=sim, meter=meter,
+                          channel_prefix=f"s{i:02d}.")
+            for i in range(2)
+        ]
+        return sim, meter, machines
+
+    def test_machines_share_the_injected_kernel(self):
+        sim, meter, (a, b) = self.build_pair()
+        assert a.sim is sim and b.sim is sim
+        assert a.meter is meter and b.meter is meter
+        assert a.package_domain == "s00.package"
+        assert b.dram_domain == "s01.dram"
+
+    def test_shared_meter_requires_distinct_prefixes(self):
+        from repro.power.meter import PowerMeter
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(0)
+        meter = PowerMeter(sim)
+        ServerMachine(cpc1a(), sim=sim, meter=meter, channel_prefix="s00.")
+        with pytest.raises(ValueError, match="distinct prefixes"):
+            ServerMachine(cpc1a(), sim=sim, meter=meter, channel_prefix="s00.")
+
+    def test_meter_must_share_the_simulator(self):
+        from repro.power.meter import PowerMeter
+        from repro.sim.engine import Simulator
+
+        with pytest.raises(ValueError, match="share one simulator"):
+            ServerMachine(cpc1a(), sim=Simulator(0),
+                          meter=PowerMeter(Simulator(0)))
+
+    def test_checkpoint_stays_loud_on_external_sim(self):
+        from repro.server.recycle import CheckpointError
+
+        sim, meter, (a, _b) = self.build_pair()
+        with pytest.raises(CheckpointError, match="externally-owned"):
+            a.checkpoint()
+
+    def test_recycle_without_checkpoint_stays_loud(self):
+        sim, meter, (a, _b) = self.build_pair()
+        with pytest.raises(RuntimeError, match="needs a checkpoint"):
+            a.recycle(a.config, seed=3)
+
+    def test_measurement_resets_only_own_channels(self):
+        sim, meter, (a, b) = self.build_pair()
+        sim.run(until_ns=2 * MS)
+        before_b = meter.energy_j("s01.package")
+        assert before_b > 0
+        a.begin_measurement()
+        assert meter.energy_j("s00.package") == 0.0
+        assert meter.energy_j("s01.package") == pytest.approx(before_b)
+
+    def test_kernel_stats_attribute_to_the_shared_kernel(self):
+        sim, meter, (a, b) = self.build_pair()
+        sim.run(until_ns=1 * MS)
+        stats_a, stats_b = a.stats(), b.stats()
+        assert stats_a == stats_b
+        assert stats_a.sim_time_ns == 1 * MS
+        assert stats_a.events_processed == sim.events_processed
+
+    def test_default_construction_still_owns_its_substrate(self):
+        machine = ServerMachine(cpc1a(), seed=4)
+        assert machine.package_domain == "package"
+        assert machine.dram_domain == "dram"
+        machine.checkpoint()  # recyclable as before
+        machine.recycle(machine.config, seed=9)
+        assert machine.sim.seed == 9
