@@ -45,7 +45,8 @@ def bench_ablation_analytical_trades(benchmark):
             ],
             [
                 "DRAM CKE-off (APC)",
-                f"{model.timings.exit_cke_release_at_ns + DDR4_2666.cke_off_exit_ns} ns",
+                f"{model.timings.exit_cke_release_at_ns + DDR4_2666.cke_off_exit_ns}"
+                " ns",
                 f"+{budget.dram_diff_w():.2f} W DRAM",
             ],
             [
@@ -56,7 +57,8 @@ def bench_ablation_analytical_trades(benchmark):
             [
                 "links L0s/L0p (APC)",
                 f"{model.exit_io_branch_ns} ns",
-                f"+{budget.links_power_w('shallow') - budget.links_power_w('L1'):.2f} W",
+                f"+{budget.links_power_w('shallow') - budget.links_power_w('L1'):.2f}"
+                " W",
             ],
             [
                 "links L1 (PC6-style)",
@@ -106,8 +108,9 @@ def bench_ablation_dispatch_policies(benchmark):
             workload = MemcachedWorkload(25_000)
             base_result = measure(workload, base, seed=4)
             apc_result = measure(workload, config, seed=4)
-            results[policy] = (base_result, apc_result,
-                               savings_between(base_result, apc_result))
+            results[
+                policy
+            ] = (base_result, apc_result, savings_between(base_result, apc_result))
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 

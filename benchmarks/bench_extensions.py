@@ -79,10 +79,10 @@ def bench_race_to_halt_vs_dvfs(benchmark):
                 cshallow().soc.budget.core, pn
             ),
         )
-        slow_soc = dataclasses.replace(cshallow().soc, budget=slow_budget,
-                                       core_freq_ghz=pn.freq_ghz)
-        slow_config = dataclasses.replace(cshallow(), soc=slow_soc,
-                                          name="Cdvfs-Pn")
+        slow_soc = dataclasses.replace(
+            cshallow().soc, budget=slow_budget, core_freq_ghz=pn.freq_ghz
+        )
+        slow_config = dataclasses.replace(cshallow(), soc=slow_soc, name="Cdvfs-Pn")
         # Service stretches by the frequency ratio at the low P-state.
         stretched = MemcachedWorkload(qps)
         scale = SKX_PSTATES.service_scale(pn)

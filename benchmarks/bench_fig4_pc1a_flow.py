@@ -36,8 +36,18 @@ def bench_pc1a_flow(benchmark):
     total = timings["entry_ns"] + timings["exit_ns"]
     rows = [
         ["entry", f"{timings['entry_ns']} ns", f"{model.entry_ns} ns", "~18 ns"],
-        ["exit", f"{timings['exit_ns']} ns", f"{model.exit_ns} ns", "<=150 ns + cycles"],
-        ["entry+exit", f"{total} ns", f"{model.worst_case_transition_ns} ns", "<=200 ns"],
+        [
+            "exit",
+            f"{timings['exit_ns']} ns",
+            f"{model.exit_ns} ns",
+            "<=150 ns + cycles",
+        ],
+        [
+            "entry+exit",
+            f"{total} ns",
+            f"{model.worst_case_transition_ns} ns",
+            "<=200 ns",
+        ],
         [
             "speedup vs PC6",
             f"{50_000 / total:.0f}x",
@@ -52,7 +62,9 @@ def bench_pc1a_flow(benchmark):
         format_table(["phase", "simulated", "model", "paper"], rows)
         + "\n\nEntry schedule (from the &InL0s edge):\n" + breakdown
         + "\nExit branches (concurrent): "
-        + ", ".join(f"{k.split(':')[0]}={v} ns" for k, v in model.exit_breakdown().items())
+        + ", ".join(
+            f"{k.split(':')[0]}={v} ns" for k, v in model.exit_breakdown().items()
+        )
     )
     save_report("fig4_pc1a_flow", report)
 

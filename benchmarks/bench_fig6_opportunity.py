@@ -13,7 +13,12 @@ import pytest
 
 from _common import measure, save_report
 from repro.analysis.opportunity import opportunity_from_result
-from repro.analysis.report import PaperComparison, ascii_bars, comparison_table, format_table
+from repro.analysis.report import (
+    PaperComparison,
+    ascii_bars,
+    comparison_table,
+    format_table,
+)
 from repro.server.configs import cshallow
 from repro.workloads.memcached import MemcachedWorkload
 

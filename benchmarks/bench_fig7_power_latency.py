@@ -10,7 +10,12 @@ import pytest
 
 from _common import run_bench_sweep, save_report
 from repro.analysis.perf import estimate_perf_impact
-from repro.analysis.report import PaperComparison, ascii_bars, comparison_table, format_table
+from repro.analysis.report import (
+    PaperComparison,
+    ascii_bars,
+    comparison_table,
+    format_table,
+)
 from repro.analysis.savings import savings_between
 from repro.sweep import SweepSpec, memcached_points
 
@@ -37,12 +42,18 @@ def bench_fig7a_idle_power(benchmark):
 
     paper = {"Cshallow": 49.5, "Cdeep": 12.5, "CPC1A": 29.1}
     rows = [
-        PaperComparison(f"idle power {name}", paper[name],
-                        result.total_power_w, unit=" W", rel_tolerance=0.05)
+        PaperComparison(
+            f"idle power {name}",
+            paper[name],
+            result.total_power_w,
+            unit=" W",
+            rel_tolerance=0.05,
+        )
         for name, result in results.items()
     ]
-    chart = ascii_bars(list(results), [r.total_power_w for r in results.values()],
-                       unit=" W")
+    chart = ascii_bars(
+        list(results), [r.total_power_w for r in results.values()], unit=" W"
+    )
     save_report("fig7a_idle_power", comparison_table(rows) + "\n\n" + chart)
     for row in rows:
         assert row.measured == pytest.approx(row.paper, rel=0.05), row.metric
@@ -84,9 +95,13 @@ def bench_fig7b_power_savings(benchmark):
         unit="%",
     )
     comparisons = [
-        PaperComparison(f"savings @ {qps // 1000}K QPS", paper,
-                        next(p for q, p in points if q == qps).savings_percent,
-                        unit="%", rel_tolerance=0.30)
+        PaperComparison(
+            f"savings @ {qps // 1000}K QPS",
+            paper,
+            next(p for q, p in points if q == qps).savings_percent,
+            unit="%",
+            rel_tolerance=0.30,
+        )
         for qps, paper in PAPER_SAVINGS.items()
     ]
     save_report(

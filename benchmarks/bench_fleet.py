@@ -258,9 +258,7 @@ def main(argv=None) -> int:
 # -- pytest entry points -----------------------------------------------------
 def bench_fleet_pack_beats_round_robin():
     """The acceptance claim, sized for the CI bench matrix."""
-    comparison = measure_pack_vs_round_robin(
-        duration_ns=12 * MS, warmup_ns=3 * MS
-    )
+    comparison = measure_pack_vs_round_robin(duration_ns=12 * MS, warmup_ns=3 * MS)
     rr = comparison["routings"]["round-robin"]
     pack = comparison["routings"]["power-aware-pack"]
     assert pack["energy_j"] < rr["energy_j"], comparison

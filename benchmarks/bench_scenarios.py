@@ -33,9 +33,7 @@ def _matrix_points():
             rates = [r for r in scenario.default_rates if r > 0]
             selected = sweep_points(scenario.name, rates=rates[:1])
         elif scenario.kind == "preset":
-            selected = sweep_points(
-                scenario.name, presets=scenario.default_presets[:1]
-            )
+            selected = sweep_points(scenario.name, presets=scenario.default_presets[:1])
         else:
             selected = sweep_points(scenario.name)
         points.extend(selected)

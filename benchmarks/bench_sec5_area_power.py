@@ -24,11 +24,17 @@ def bench_area_overhead(benchmark):
 
     models = benchmark(evaluate)
     narrow = models[128]
-    rows = [[name, f"{fraction * 100:.4f} %"] for name, fraction in narrow.breakdown().items()]
+    rows = [
+        [name, f"{fraction * 100:.4f} %"]
+        for name, fraction in narrow.breakdown().items()
+    ]
     rows.append(["TOTAL (128-bit interconnect)", f"{narrow.total_die_percent:.4f} %"])
     for width in (256, 512):
         rows.append(
-            [f"TOTAL ({width}-bit interconnect)", f"{models[width].total_die_percent:.4f} %"]
+            [
+                f"TOTAL ({width}-bit interconnect)",
+                f"{models[width].total_die_percent:.4f} %",
+            ]
         )
     report = (
         format_table(["component", "die area"], rows)
@@ -41,25 +47,36 @@ def bench_area_overhead(benchmark):
 
 def bench_power_derivation(benchmark):
     def evaluate():
-        return (
-            Pc1aPowerDerivation(),
-            Pc1aPowerDerivation.from_budget(DEFAULT_BUDGET),
-        )
+        return (Pc1aPowerDerivation(), Pc1aPowerDerivation.from_budget(DEFAULT_BUDGET))
 
     paper, ours = benchmark(evaluate)
     rows = [
-        PaperComparison("PsocPC1A (Eq. 2)", paper.p_soc_pc1a_w,
-                        ours.p_soc_pc1a_w, unit=" W", rel_tolerance=0.02),
-        PaperComparison("PdramPC1A (Eq. 3)", paper.p_dram_pc1a_w,
-                        ours.p_dram_pc1a_w, unit=" W", rel_tolerance=0.02),
-        PaperComparison("Pcores_diff", 12.1, ours.p_cores_diff_w, unit=" W",
-                        rel_tolerance=0.02),
-        PaperComparison("PIOs_diff", 3.5, ours.p_ios_diff_w, unit=" W",
-                        rel_tolerance=0.02),
-        PaperComparison("PPLLs_diff", 0.056, ours.p_plls_diff_w, unit=" W",
-                        rel_tolerance=0.02),
-        PaperComparison("Pdram_diff", 1.1, ours.p_dram_diff_w, unit=" W",
-                        rel_tolerance=0.02),
+        PaperComparison(
+            "PsocPC1A (Eq. 2)",
+            paper.p_soc_pc1a_w,
+            ours.p_soc_pc1a_w,
+            unit=" W",
+            rel_tolerance=0.02,
+        ),
+        PaperComparison(
+            "PdramPC1A (Eq. 3)",
+            paper.p_dram_pc1a_w,
+            ours.p_dram_pc1a_w,
+            unit=" W",
+            rel_tolerance=0.02,
+        ),
+        PaperComparison(
+            "Pcores_diff", 12.1, ours.p_cores_diff_w, unit=" W", rel_tolerance=0.02
+        ),
+        PaperComparison(
+            "PIOs_diff", 3.5, ours.p_ios_diff_w, unit=" W", rel_tolerance=0.02
+        ),
+        PaperComparison(
+            "PPLLs_diff", 0.056, ours.p_plls_diff_w, unit=" W", rel_tolerance=0.02
+        ),
+        PaperComparison(
+            "Pdram_diff", 1.1, ours.p_dram_diff_w, unit=" W", rel_tolerance=0.02
+        ),
     ]
     save_report("sec5_power_derivation", comparison_table(rows))
     for row in rows:

@@ -35,7 +35,9 @@ def bench_table1(benchmark):
         for state in ("PC0idle", "PC6", "PC1A")
     ]
     analytic = format_table1(build_table1())
-    report = analytic + "\n\nSimulated idle machines vs paper:\n" + comparison_table(rows)
+    report = (
+        analytic + "\n\nSimulated idle machines vs paper:\n" + comparison_table(rows)
+    )
     save_report("table1_power_states", report)
 
     for row in rows:

@@ -26,17 +26,14 @@ def bench_upi_snoop_pressure(benchmark):
         for rate in SNOOP_RATES:
             foreground = MemcachedWorkload(10_000)
             if rate:
-                workload = CompositeWorkload(
-                    [foreground, UpiSnoopTraffic(rate)]
-                )
+                workload = CompositeWorkload([foreground, UpiSnoopTraffic(rate)])
                 base_workload = CompositeWorkload(
                     [MemcachedWorkload(10_000), UpiSnoopTraffic(rate)]
                 )
             else:
                 workload = foreground
                 base_workload = MemcachedWorkload(10_000)
-            base = measure(base_workload, cshallow(), seed=5,
-                           duration_ns=150 * MS)
+            base = measure(base_workload, cshallow(), seed=5, duration_ns=150 * MS)
             apc = measure(workload, cpc1a(), seed=5, duration_ns=150 * MS)
             savings = savings_between(base, apc)
             rows.append((rate, apc, savings))

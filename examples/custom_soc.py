@@ -54,10 +54,12 @@ def main() -> None:
             base_config = dataclasses.replace(base_config, soc=soc)
             apc_config = dataclasses.replace(apc_config, soc=soc)
         workload = MemcachedWorkload(qps)
-        base = run_experiment(workload, base_config, duration_ns=150 * MS,
-                              warmup_ns=30 * MS, seed=5)
-        apc = run_experiment(workload, apc_config, duration_ns=150 * MS,
-                             warmup_ns=30 * MS, seed=5)
+        base = run_experiment(
+            workload, base_config, duration_ns=150 * MS, warmup_ns=30 * MS, seed=5
+        )
+        apc = run_experiment(
+            workload, apc_config, duration_ns=150 * MS, warmup_ns=30 * MS, seed=5
+        )
         savings = savings_between(base, apc)
         rows.append([
             label,

@@ -15,10 +15,12 @@ from repro.units import MS
 
 
 def evaluate(workload, label: str) -> list[str]:
-    base = run_experiment(workload, cshallow(), duration_ns=300 * MS,
-                          warmup_ns=50 * MS, seed=2)
-    apc = run_experiment(workload, cpc1a(), duration_ns=300 * MS,
-                         warmup_ns=50 * MS, seed=2)
+    base = run_experiment(
+        workload, cshallow(), duration_ns=300 * MS, warmup_ns=50 * MS, seed=2
+    )
+    apc = run_experiment(
+        workload, cpc1a(), duration_ns=300 * MS, warmup_ns=50 * MS, seed=2
+    )
     savings = savings_between(base, apc)
     return [
         label,

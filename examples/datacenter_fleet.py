@@ -42,8 +42,9 @@ def curve_points(rates) -> tuple[WorkloadPoint, ...]:
     """The idle anchor plus one loaded point per fleet rate."""
     points = [WorkloadPoint("idle", duration_ns=12 * MS, warmup_ns=3 * MS)]
     points.extend(
-        WorkloadPoint("memcached", qps=float(qps),
-                      duration_ns=25 * MS, warmup_ns=6 * MS)
+        WorkloadPoint(
+            "memcached", qps=float(qps), duration_ns=25 * MS, warmup_ns=6 * MS
+        )
         for qps in rates
     )
     return tuple(points)
@@ -51,10 +52,15 @@ def curve_points(rates) -> tuple[WorkloadPoint, ...]:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workers", type=int, default=0,
-                        help="sweep worker processes (0 = one per core)")
-    parser.add_argument("--wide", action="store_true",
-                        help="8 servers x dense rates x 2 seeds")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="sweep worker processes (0 = one per core)",
+    )
+    parser.add_argument(
+        "--wide", action="store_true", help="8 servers x dense rates x 2 seeds"
+    )
     args = parser.parse_args(argv)
 
     n_servers = 8 if args.wide else 4
@@ -65,12 +71,11 @@ def main(argv=None) -> None:
         for routing in ROUTINGS
     ) + (
         # The real-world baseline fleet: no agile package states.
-        ClusterConfig(machine="Cshallow", n_servers=n_servers,
-                      routing="round-robin"),
+        ClusterConfig(
+            machine="Cshallow", n_servers=n_servers, routing="round-robin"
+        ),
     )
-    spec = FleetSpec(
-        workloads=curve_points(rates), clusters=clusters, seeds=seeds
-    )
+    spec = FleetSpec(workloads=curve_points(rates), clusters=clusters, seeds=seeds)
     with SweepSession(workers=args.workers or None) as session:
         results = session.run(spec.cells())
     print(f"simulated {len(spec)} fleet cells "
@@ -78,13 +83,11 @@ def main(argv=None) -> None:
 
     seed = seeds[0]
 
-    print(f"CPC1A fleet of {n_servers} servers under Memcached "
-          f"(seed {seed}):\n")
+    print(f"CPC1A fleet of {n_servers} servers under Memcached " f"(seed {seed}):\n")
     rows = []
     for qps in rates:
         for routing in ROUTINGS:
-            r = results.one(machine="CPC1A", routing=routing,
-                            qps=float(qps), seed=seed)
+            r = results.one(machine="CPC1A", routing=routing, qps=float(qps), seed=seed)
             rows.append([
                 f"{qps:,}", routing, f"{r.total_power_w:,.1f} W",
                 f"{r.latency.p99_us:.0f} us", f"{r.pc1a_residency():.1%}",
@@ -99,10 +102,12 @@ def main(argv=None) -> None:
     print("\nPack vs spread at matched offered load:")
     pack_rows = []
     for qps in rates:
-        pack = results.one(machine="CPC1A", routing="power-aware-pack",
-                           qps=float(qps), seed=seed)
-        spread = results.one(machine="CPC1A", routing="power-aware-spread",
-                             qps=float(qps), seed=seed)
+        pack = results.one(
+            machine="CPC1A", routing="power-aware-pack", qps=float(qps), seed=seed
+        )
+        spread = results.one(
+            machine="CPC1A", routing="power-aware-spread", qps=float(qps), seed=seed
+        )
         savings = 100.0 * (1.0 - pack.total_power_w / spread.total_power_w)
         pack_rows.append([
             f"{qps:,}",
@@ -137,10 +142,12 @@ def main(argv=None) -> None:
         headers.append("[min, max]")
     print(format_table(headers, score_rows))
 
-    base = results.one(machine="Cshallow", routing="round-robin",
-                       qps=float(rates[0]), seed=seed)
-    apc = results.one(machine="CPC1A", routing="power-aware-pack",
-                      qps=float(rates[0]), seed=seed)
+    base = results.one(
+        machine="Cshallow", routing="round-robin", qps=float(rates[0]), seed=seed
+    )
+    apc = results.one(
+        machine="CPC1A", routing="power-aware-pack", qps=float(rates[0]), seed=seed
+    )
     print(f"\nAt {rates[0]:,} QPS aggregate load, the packed CPC1A fleet "
           f"draws {apc.total_power_w:,.1f} W vs the Cshallow baseline's "
           f"{base.total_power_w:,.1f} W "

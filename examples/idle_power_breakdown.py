@@ -16,8 +16,15 @@ from repro.units import MS
 
 
 def component_powers(machine: ServerMachine) -> dict[str, float]:
-    groups = {"cores": 0.0, "CLM": 0.0, "IO links": 0.0, "MCs": 0.0,
-              "PLLs": 0.0, "north-cap static": 0.0, "DRAM": 0.0}
+    groups = {
+        "cores": 0.0,
+        "CLM": 0.0,
+        "IO links": 0.0,
+        "MCs": 0.0,
+        "PLLs": 0.0,
+        "north-cap static": 0.0,
+        "DRAM": 0.0,
+    }
     for channel in machine.meter.channels():
         name, watts = channel.name, channel.power_w
         if name.startswith("core"):
@@ -51,9 +58,7 @@ def main() -> None:
             f"{component_powers(machine)[name]:.2f} W"
             for machine in machines.values()
         ])
-    totals = [
-        f"{machine.meter.power_w():.1f} W" for machine in machines.values()
-    ]
+    totals = [f"{machine.meter.power_w():.1f} W" for machine in machines.values()]
     rows.append(["TOTAL (SoC+DRAM)"] + totals)
     print(format_table(
         ["component"] + [f"{name} ({machines[name].package.package_state})"

@@ -31,9 +31,7 @@ def main() -> None:
                 workload, config_fn(), duration_ns=window_for(qps),
                 warmup_ns=30 * MS, seed=3,
             )
-        base, deep, apc = (
-            results["Cshallow"], results["Cdeep"], results["CPC1A"]
-        )
+        base, deep, apc = (results["Cshallow"], results["Cdeep"], results["CPC1A"])
         savings = savings_between(base, apc)
         labels.append(f"{qps // 1000}K")
         idle_series.append(base.all_idle_fraction)

@@ -22,10 +22,12 @@ def main(qps: float = 20_000) -> None:
     print(f"Memcached at {qps:,.0f} QPS "
           f"(~{workload.expected_utilization():.0%} utilization) ...")
 
-    base = run_experiment(workload, cshallow(),
-                          duration_ns=200 * MS, warmup_ns=30 * MS, seed=7)
-    apc = run_experiment(workload, cpc1a(),
-                         duration_ns=200 * MS, warmup_ns=30 * MS, seed=7)
+    base = run_experiment(
+        workload, cshallow(), duration_ns=200 * MS, warmup_ns=30 * MS, seed=7
+    )
+    apc = run_experiment(
+        workload, cpc1a(), duration_ns=200 * MS, warmup_ns=30 * MS, seed=7
+    )
     savings = savings_between(base, apc)
 
     print(format_table(

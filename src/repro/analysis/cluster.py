@@ -58,9 +58,7 @@ class PowerCurve:
 
     def power_at(self, utilization: float) -> float:
         """Linear interpolation (clamped at the measured range)."""
-        return float(
-            np.interp(utilization, self.utilizations, self.powers_w)
-        )
+        return float(np.interp(utilization, self.utilizations, self.powers_w))
 
     @property
     def idle_power_w(self) -> float:

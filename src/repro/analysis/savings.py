@@ -36,9 +36,7 @@ class SavingsPoint:
         return self.baseline_power_w - self.apc_power_w
 
 
-def savings_between(
-    baseline: ExperimentResult, apc: ExperimentResult
-) -> SavingsPoint:
+def savings_between(baseline: ExperimentResult, apc: ExperimentResult) -> SavingsPoint:
     """Build a savings point from a paired pair of experiment results.
 
     The two results must come from the same workload at the same

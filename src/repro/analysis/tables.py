@@ -42,14 +42,34 @@ def build_table1(
     """Table 1 from the component ledger and the latency model."""
     latency = latency or Pc1aLatencyModel()
     return [
-        Table1Row("PC0", ">=1 CC0", 0,
-                  budget.soc_power_w("PC0"), budget.dram_power_w("PC0") + 1.5),
-        Table1Row("PC0idle", "10 CC1", 0,
-                  budget.soc_power_w("PC0idle"), budget.dram_power_w("PC0idle")),
-        Table1Row("PC6", "10 CC6", latency.pc6_transition_ns,
-                  budget.soc_power_w("PC6"), budget.dram_power_w("PC6")),
-        Table1Row("PC1A", "10 CC1", latency.worst_case_transition_ns,
-                  budget.soc_power_w("PC1A"), budget.dram_power_w("PC1A")),
+        Table1Row(
+            "PC0",
+            ">=1 CC0",
+            0,
+            budget.soc_power_w("PC0"),
+            budget.dram_power_w("PC0") + 1.5,
+        ),
+        Table1Row(
+            "PC0idle",
+            "10 CC1",
+            0,
+            budget.soc_power_w("PC0idle"),
+            budget.dram_power_w("PC0idle"),
+        ),
+        Table1Row(
+            "PC6",
+            "10 CC6",
+            latency.pc6_transition_ns,
+            budget.soc_power_w("PC6"),
+            budget.dram_power_w("PC6"),
+        ),
+        Table1Row(
+            "PC1A",
+            "10 CC1",
+            latency.worst_case_transition_ns,
+            budget.soc_power_w("PC1A"),
+            budget.dram_power_w("PC1A"),
+        ),
     ]
 
 

@@ -10,7 +10,8 @@ Commands
 ``export``    sweep a rate range and write the observables as CSV;
 ``sweep``     run a scenario x config x rate x seed grid in parallel;
 ``scenarios`` list the registered traffic scenarios;
-``validate``  fast end-to-end check of the headline paper anchors.
+``validate``  fast end-to-end check of the headline paper anchors;
+``lint``      static determinism/checkpoint-safety analysis (RPR rules).
 
 Sweeps
 ------
@@ -95,8 +96,9 @@ class ThrottledProgress:
     rendered when a line is actually printed.
     """
 
-    def __init__(self, total: int, stream=None, min_interval_s: float = 1.0,
-                 stride: int = 100):
+    def __init__(
+        self, total: int, stream=None, min_interval_s: float = 1.0, stride: int = 100
+    ):
         self.total = total
         self.count = 0
         self.emitted = 0
@@ -193,12 +195,15 @@ def summarize(result: ExperimentResult) -> str:
 
 
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workload", default="memcached",
-                        choices=list(workload_names()))
-    parser.add_argument("--qps", type=float, default=20_000,
-                        help="offered rate (rate-driven scenarios)")
-    parser.add_argument("--preset", default="low",
-                        help="preset (mysql/kafka) or trace path (replay)")
+    parser.add_argument(
+        "--workload", default="memcached", choices=list(workload_names())
+    )
+    parser.add_argument(
+        "--qps", type=float, default=20_000, help="offered rate (rate-driven scenarios)"
+    )
+    parser.add_argument(
+        "--preset", default="low", help="preset (mysql/kafka) or trace path (replay)"
+    )
     parser.add_argument("--duration-ms", type=int, default=100)
     parser.add_argument("--warmup-ms", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
@@ -264,7 +269,9 @@ def cmd_idle(args: argparse.Namespace) -> int:
 
 def cmd_latency(args: argparse.Namespace) -> int:
     model = Pc1aLatencyModel()
-    rows = [[step, f"t+{offset} ns"] for step, offset in model.entry_breakdown().items()]
+    rows = [
+        [step, f"t+{offset} ns"] for step, offset in model.entry_breakdown().items()
+    ]
     rows.extend([branch, f"{ns} ns"] for branch, ns in model.exit_breakdown().items())
     rows.append(["ENTRY total", f"{model.entry_ns} ns"])
     rows.append(["EXIT total (max of branches)", f"{model.exit_ns} ns"])
@@ -417,9 +424,7 @@ def _workload_points(args: argparse.Namespace) -> tuple[WorkloadPoint, ...]:
         return _scenario_points(args)
     if kind == "preset":
         preset_csv = args.presets or DEFAULT_PRESETS
-        presets = tuple(
-            p.strip() for p in preset_csv.split(",") if p.strip()
-        )
+        presets = tuple(p.strip() for p in preset_csv.split(",") if p.strip())
         if not presets:
             raise SystemExit("--presets must list at least one preset")
         return preset_points(args.workload, presets)
@@ -439,8 +444,9 @@ def _parse_seeds(value: str) -> tuple[int, ...]:
     return seeds
 
 
-def _write_stats_json(args: argparse.Namespace, results, total: int,
-                      workers: int, rows: int) -> None:
+def _write_stats_json(
+    args: argparse.Namespace, results, total: int, workers: int, rows: int
+) -> None:
     """Persist machine-readable run accounting for CI assertions."""
     unique = len({cell.key() for cell in results.cells})
     stats_path = Path(args.stats_json)
@@ -545,9 +551,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     try:
         points = _workload_points(args)
         seeds = _parse_seeds(args.seeds)
-        routings = tuple(
-            r.strip() for r in args.routing.split(",") if r.strip()
-        )
+        routings = tuple(r.strip() for r in args.routing.split(",") if r.strip())
         if not routings:
             raise SystemExit("--routing must list at least one policy")
         clusters = tuple(
@@ -657,6 +661,48 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static determinism/checkpoint-safety analysis (rules RPR001..)."""
+    from repro.lint import get_rule, lint_paths, rule_catalog
+
+    if args.list_rules:
+        rows = [
+            [rule.code, rule.name, ",".join(sorted(rule.domains)), rule.summary]
+            for rule in rule_catalog()
+        ]
+        print(format_table(["code", "name", "domains", "summary"], rows))
+        return 0
+    if args.explain:
+        try:
+            rule = get_rule(args.explain)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        print(f"{rule.code} {rule.name} — {rule.summary}\n")
+        print(rule.doc or "(no extended documentation)")
+        return 0
+    if not args.paths:
+        print("repro lint: no paths given (try: repro lint src/ tests/)",
+              file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(args.paths, select=args.select)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    rendered = (
+        report.to_json()
+        if args.format == "json"
+        else report.format_human(verbose_suppressed=args.verbose)
+    )
+    if args.out:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.format} report to {args.out}")
+    if args.format != "json" or not args.out:
+        print(rendered)
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -666,8 +712,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     run_parser = sub.add_parser("run", help="run one experiment")
     _add_run_args(run_parser)
-    run_parser.add_argument("--config", default="CPC1A",
-                            choices=sorted(CONFIG_BUILDERS))
+    run_parser.add_argument(
+        "--config", default="CPC1A", choices=sorted(CONFIG_BUILDERS)
+    )
     run_parser.set_defaults(fn=cmd_run)
 
     compare_parser = sub.add_parser("compare", help="Cshallow vs CPC1A")
@@ -696,18 +743,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated offered rates (0 = idle)",
     )
     export_parser.add_argument("--out", default="results/sweep.csv")
-    export_parser.add_argument("--workers", type=int, default=1,
-                               help="worker processes (0 = one per core)")
-    export_parser.add_argument("--store", default=None,
-                               help="result-cache directory (optional)")
+    export_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (0 = one per core)"
+    )
+    export_parser.add_argument(
+        "--store", default=None, help="result-cache directory (optional)"
+    )
     _add_progress_flag(export_parser)
     export_parser.set_defaults(fn=cmd_export)
 
     sweep_parser = sub.add_parser(
         "sweep", help="parallel scenario x config x rate x seed grid"
     )
-    sweep_parser.add_argument("--workload", default="memcached",
-                              choices=list(workload_names()))
+    sweep_parser.add_argument(
+        "--workload", default="memcached", choices=list(workload_names())
+    )
     sweep_parser.add_argument(
         "--scenario", default=None, choices=list(workload_names()),
         help="sweep a registered scenario on its default grid "
@@ -723,16 +773,15 @@ def main(argv: Sequence[str] | None = None) -> int:
              f"default {DEFAULT_RATES})",
     )
     sweep_parser.add_argument(
-        "--presets", default=None,
-        help="comma-separated presets (mysql/kafka; "
-             f"default {DEFAULT_PRESETS})",
+        "--presets",
+        default=None,
+        help="comma-separated presets (mysql/kafka; " f"default {DEFAULT_PRESETS})",
     )
     sweep_parser.add_argument(
         "--trace", default=None,
         help="trace file for --scenario replay (default: bundled example)",
     )
-    sweep_parser.add_argument("--preset", default="low",
-                              help=argparse.SUPPRESS)
+    sweep_parser.add_argument("--preset", default="low", help=argparse.SUPPRESS)
     sweep_parser.add_argument(
         "--seeds", default="1", help="comma-separated seeds; >1 adds CI"
     )
@@ -748,8 +797,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--workers", type=int, default=0,
         help="worker processes (0 = one per core, REPRO_SWEEP_WORKERS)",
     )
-    sweep_parser.add_argument("--store", default=None,
-                              help="result-cache directory (optional)")
+    sweep_parser.add_argument(
+        "--store", default=None, help="result-cache directory (optional)"
+    )
     sweep_parser.add_argument("--out", default="results/sweep_grid.csv")
     sweep_parser.add_argument(
         "--stats-json", default=None,
@@ -761,8 +811,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     fleet_parser = sub.add_parser(
         "fleet", help="multi-server cluster sweep (routing x config x rate)"
     )
-    fleet_parser.add_argument("--workload", default="memcached",
-                              choices=list(workload_names()))
+    fleet_parser.add_argument(
+        "--workload", default="memcached", choices=list(workload_names())
+    )
     fleet_parser.add_argument(
         "--scenario", default=None, choices=list(workload_names()),
         help="drive the fleet with a registered scenario's default grid",
@@ -804,11 +855,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--trace", default=None,
         help="trace file for --scenario replay (default: bundled example)",
     )
-    fleet_parser.add_argument("--preset", default="low",
-                              help=argparse.SUPPRESS)
-    fleet_parser.add_argument(
-        "--seeds", default="1", help="comma-separated seeds"
-    )
+    fleet_parser.add_argument("--preset", default="low", help=argparse.SUPPRESS)
+    fleet_parser.add_argument("--seeds", default="1", help="comma-separated seeds")
     fleet_parser.add_argument(
         "--duration-ms", type=int, default=0,
         help="window per cell (0 = size each window to its rate)",
@@ -821,8 +869,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--workers", type=int, default=0,
         help="worker processes (0 = one per core, REPRO_SWEEP_WORKERS)",
     )
-    fleet_parser.add_argument("--store", default=None,
-                              help="result-cache directory (optional)")
+    fleet_parser.add_argument(
+        "--store", default=None, help="result-cache directory (optional)"
+    )
     fleet_parser.add_argument("--out", default="results/fleet_grid.csv")
     fleet_parser.add_argument(
         "--stats-json", default=None,
@@ -844,6 +893,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         "validate", help="check the headline paper anchors"
     )
     validate_parser.set_defaults(fn=cmd_validate)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static determinism/checkpoint-safety analysis",
+        description="AST-based lint pass over simulation sources: "
+                    "wall-clock/unseeded randomness, float event times, "
+                    "unordered iteration into scheduling, checkpoint-unsafe "
+                    "state, shared-meter prefixes. Suppress a finding with "
+                    "'# repro-lint: ignore[RPR001]'.",
+    )
+    lint_parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    lint_parser.add_argument("--format", choices=("human", "json"), default="human")
+    lint_parser.add_argument(
+        "--out", default=None, help="also write the report to this file"
+    )
+    lint_parser.add_argument(
+        "--select",
+        default=None,
+        type=lambda blob: blob.split(","),
+        help="comma-separated rule codes (default: all)",
+    )
+    lint_parser.add_argument(
+        "--verbose", action="store_true", help="also show suppressed findings"
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    lint_parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print one rule's full documentation",
+    )
+    lint_parser.set_defaults(fn=cmd_lint)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -161,9 +161,7 @@ class MemoryController:
             duration_ns, self._transition_done, target, on_done
         )
 
-    def _transition_done(
-        self, target: str, on_done: Callable[[], None] | None
-    ) -> None:
+    def _transition_done(self, target: str, on_done: Callable[[], None] | None) -> None:
         self._transition_event = None
         self.state = target
         self.residency.enter(target)

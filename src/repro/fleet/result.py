@@ -128,9 +128,7 @@ class FleetResult:
         return cls(**data)
 
 
-def fleet_power_curve(
-    results: Sequence[FleetResult], label: str = ""
-) -> PowerCurve:
+def fleet_power_curve(results: Sequence[FleetResult], label: str = "") -> PowerCurve:
     """A fleet's power-vs-utilization curve from a rate sweep.
 
     Sorted by fleet utilization, like

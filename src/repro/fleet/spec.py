@@ -185,8 +185,11 @@ class FleetSpec:
             raise ValueError("a fleet sweep needs at least one cluster")
         if not self.seeds:
             raise ValueError("a fleet sweep needs at least one seed")
-        for label, values in (("seeds", self.seeds), ("clusters", self.clusters),
-                              ("workload points", self.workloads)):
+        for label, values in (
+            ("seeds", self.seeds),
+            ("clusters", self.clusters),
+            ("workload points", self.workloads),
+        ):
             if len(set(values)) != len(values):
                 raise ValueError(f"duplicate {label} in fleet sweep: {values}")
         if self.duration_ns is not None and self.duration_ns <= 0:
@@ -209,8 +212,12 @@ class FleetSpec:
                 # periods (the thing long windows exist to observe)
                 # accrue per server.
                 windows = [
-                    resolve_window(point, self.duration_ns, self.warmup_ns,
-                                   rate_divisor=cluster.n_servers)
+                    resolve_window(
+                        point,
+                        self.duration_ns,
+                        self.warmup_ns,
+                        rate_divisor=cluster.n_servers,
+                    )
                     for point in self.workloads
                 ]
                 for point, (duration, warmup) in zip(self.workloads, windows):

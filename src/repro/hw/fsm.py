@@ -94,9 +94,7 @@ class TimedFsm:
         self._run_hook("on_enter_", state)
 
     def _run_hook(self, prefix: str, state: str) -> None:
-        hook: Callable[[], Any] | None = getattr(
-            self, prefix + state.lower(), None
-        )
+        hook: Callable[[], Any] | None = getattr(self, prefix + state.lower(), None)
         if hook is not None:
             hook()
 

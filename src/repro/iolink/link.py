@@ -22,12 +22,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.hw.signals import Signal
-from repro.iolink.lstates import (
-    DMI_TIMINGS,
-    LinkTimings,
-    PCIE_TIMINGS,
-    UPI_TIMINGS,
-)
+from repro.iolink.lstates import (DMI_TIMINGS, LinkTimings, PCIE_TIMINGS, UPI_TIMINGS)
 from repro.iolink.ltssm import Ltssm
 from repro.power.budgets import DMI_POWER, LinkPowerSpec, PCIE_POWER, UPI_POWER
 from repro.power.meter import PowerChannel
@@ -86,7 +81,9 @@ class IoLink:
         self._wake_listeners.append(fn)
 
     # -- traffic -----------------------------------------------------------
-    def transfer(self, n_bytes: int, on_delivered: Callable[[], None] | None = None) -> int:
+    def transfer(
+        self, n_bytes: int, on_delivered: Callable[[], None] | None = None
+    ) -> int:
         """Move ``n_bytes`` across the link; returns total latency in ns.
 
         Latency = wake latency of the current L-state (0 in L0/L0p)
@@ -210,12 +207,7 @@ class IoLink:
             self.in_l0s.set(False)
 
 
-def make_link(
-    sim: Simulator,
-    kind: str,
-    index: int,
-    channel: PowerChannel,
-) -> IoLink:
+def make_link(sim: Simulator, kind: str, index: int, channel: PowerChannel) -> IoLink:
     """Build a PCIe, DMI or UPI link with its calibrated parameters."""
     if kind == "pcie":
         return IoLink(sim, f"pcie{index}", PCIE_POWER, PCIE_TIMINGS, channel)

@@ -44,9 +44,13 @@ L0S = LState("L0s", power_class="shallow", transmitting=False, counts_as_in_l0s=
 L0P = LState("L0p", power_class="shallow", transmitting=True, counts_as_in_l0s=True)
 L1 = LState("L1", power_class="L1", transmitting=False, counts_as_in_l0s=True)
 NDA = LState("NDA", power_class="L1", transmitting=False, counts_as_in_l0s=True)
-RECOVERY = LState("Recovery", power_class="L0", transmitting=False, counts_as_in_l0s=False)
+RECOVERY = LState(
+    "Recovery", power_class="L0", transmitting=False, counts_as_in_l0s=False
+)
 DETECT = LState("Detect", power_class="L1", transmitting=False, counts_as_in_l0s=True)
-POLLING = LState("Polling", power_class="L0", transmitting=False, counts_as_in_l0s=False)
+POLLING = LState(
+    "Polling", power_class="L0", transmitting=False, counts_as_in_l0s=False
+)
 CONFIGURATION = LState(
     "Configuration", power_class="L0", transmitting=False, counts_as_in_l0s=False
 )

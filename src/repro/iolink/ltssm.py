@@ -92,15 +92,15 @@ class Ltssm(TimedFsm):
     def enter_shallow(self) -> None:
         """Autonomous L0 -> L0s/L0p after the idle window elapsed."""
         if self.state != "L0":
-            raise LtssmError(f"{self.name}: shallow entry only from L0, in {self.state}")
+            raise LtssmError(
+                f"{self.name}: shallow entry only from L0, in {self.state}"
+            )
         self.goto(self.shallow_state)
 
     def exit_shallow(self) -> int:
         """Wake from the shallow state; returns the exit latency in ns."""
         if self.state != self.shallow_state:
-            raise LtssmError(
-                f"{self.name}: shallow exit requested in {self.state}"
-            )
+            raise LtssmError(f"{self.name}: shallow exit requested in {self.state}")
         exit_ns = self.timings.shallow_exit_ns
         self.goto("L0", after_ns=exit_ns)
         return exit_ns
@@ -128,7 +128,9 @@ class Ltssm(TimedFsm):
         target = self._recovery_target
         self._recovery_target = None
         if target == "L1":
-            self.goto("L1", after_ns=self.timings.recovery_ns + self.timings.l1_entry_ns)
+            self.goto(
+                "L1", after_ns=self.timings.recovery_ns + self.timings.l1_entry_ns
+            )
         elif target == "L0":
             self.goto("L0", after_ns=self.timings.l1_exit_ns)
         else:  # spontaneous recovery (error retrain)

@@ -1,0 +1,51 @@
+"""``repro.lint`` — determinism & checkpoint-safety static analysis.
+
+The simulator's correctness contract rests on two invariants the
+language cannot enforce:
+
+* **Bit-determinism** — an int-ns clock plus a seed fully determines a
+  run (serial and parallel sweeps must produce byte-identical CSVs,
+  and results are cached under content-hash keys).
+* **Snapshot-walkability** — machine state must survive the
+  checkpoint/restore walker in :mod:`repro.server.recycle` so warm
+  machines can be recycled across sweep cells.
+
+Golden tests catch violations of either invariant *after the fact*;
+this package detects them *at the source*. It has two halves that
+validate each other:
+
+* A static, AST-based analyzer (:func:`lint_paths`) with a ruff-style
+  rule registry (``RPR001``..), per-line suppressions
+  (``# repro-lint: ignore[RPR001]``) and human/JSON reports. Run it as
+  ``repro lint src/ tests/``.
+* A runtime sanitizer (``REPRO_SANITIZE=1`` or
+  ``Simulator(sanitize=True)``, core in :mod:`repro.sim.sanitize`)
+  that hashes the dispatched event stream, flags same-timestamp
+  handler-order ambiguity, and cross-checks checkpoint->recycle round
+  trips (:func:`verify_recycle_roundtrip`).
+
+See ``docs/static-analysis.md`` for the rule catalog.
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import RULES, Rule, get_rule, register_rule, rule_catalog
+from repro.lint.runner import Finding, LintReport, lint_paths, lint_source
+from repro.lint.sanitizer import RoundTripReport, verify_recycle_roundtrip
+
+# Importing the rules module populates the registry.
+from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RoundTripReport",
+    "Rule",
+    "RULES",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "rule_catalog",
+    "verify_recycle_roundtrip",
+]

@@ -1,0 +1,103 @@
+"""The lint rule registry (ruff-plugin style).
+
+A rule is a plain function decorated with :func:`register_rule`; the
+decorator attaches the rule's identity (a stable ``RPR0xx`` code, a
+short name, the domains it applies to) and files it in :data:`RULES`.
+The function receives a :class:`~repro.lint.runner.FileContext` and
+yields :class:`~repro.lint.runner.Finding` objects; its docstring is
+the rule's long-form documentation, surfaced by
+``repro lint --explain <code>`` and the catalog in
+``docs/static-analysis.md``.
+
+Domains scope where a rule fires:
+
+* ``sim`` — code that runs *inside* a simulation: the kernel, SoC and
+  server models, workloads, fleet composition. Determinism rules
+  (wall-clock bans, unseeded randomness) only make sense here.
+* ``tools`` — orchestration around the simulator: the CLI, sweep
+  runner, analysis. Wall-clock is fine here (progress throttling,
+  benchmarking), but cache-key discipline still applies.
+* ``test`` — tests and benchmarks. Structural rules apply; deliberate
+  violations (e.g. asserting that float times raise) carry explicit
+  suppression comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.runner import FileContext, Finding
+
+#: The known file domains (see module docstring).
+DOMAINS = ("sim", "tools", "test")
+
+Checker = Callable[["FileContext"], Iterator["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    name: str
+    summary: str
+    domains: frozenset[str]
+    checker: Checker = field(repr=False)
+
+    @property
+    def doc(self) -> str:
+        """Long-form documentation (the checker's docstring)."""
+        return (self.checker.__doc__ or self.summary).strip()
+
+
+#: All registered rules, keyed by code (insertion == registration order).
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(
+    code: str,
+    name: str,
+    summary: str,
+    domains: Iterable[str] = ("sim",),
+) -> Callable[[Checker], Checker]:
+    """Class ``@register_rule("RPR001", ...)`` decorator for checkers.
+
+    ``code`` must be unique and stable — suppression comments and CI
+    baselines reference it. ``domains`` lists the file domains the
+    rule fires in (any of :data:`DOMAINS`).
+    """
+    domain_set = frozenset(domains)
+    unknown = domain_set - set(DOMAINS)
+    if unknown:
+        raise ValueError(f"unknown rule domains {sorted(unknown)}; have {DOMAINS}")
+    if not domain_set:
+        raise ValueError(f"rule {code} must apply to at least one domain")
+
+    def decorator(checker: Checker) -> Checker:
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code!r} ({RULES[code].name})")
+        RULES[code] = Rule(
+            code=code,
+            name=name,
+            summary=summary,
+            domains=domain_set,
+            checker=checker,
+        )
+        return checker
+
+    return decorator
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by code (KeyError names the known codes)."""
+    try:
+        return RULES[code]
+    except KeyError:
+        raise KeyError(f"unknown rule {code!r}; have {sorted(RULES)}") from None
+
+
+def rule_catalog() -> list[Rule]:
+    """All rules in registration (= code) order."""
+    return list(RULES.values())

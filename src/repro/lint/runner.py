@@ -1,0 +1,308 @@
+"""Lint driver: file walking, suppressions, import resolution, reports.
+
+The driver parses each file once, classifies it into a domain (sim /
+tools / test — see :mod:`repro.lint.registry`), builds a
+:class:`FileContext` with the resolved import table and suppression
+map, and runs every registered rule whose domains match. Findings on
+lines carrying ``# repro-lint: ignore[<codes>]`` (same line, or a
+comment-only line directly above) are reported as suppressed and do
+not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.registry import RULES, Rule
+
+#: Top-level members of the ``repro`` package that are orchestration,
+#: not simulation (wall-clock and OS entropy are legitimate there).
+_TOOL_PACKAGES = frozenset({"cli.py", "sweep", "analysis", "lint"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?"
+)
+
+#: Sentinel: a bare ``# repro-lint: ignore`` suppresses every rule.
+ALL_CODES = "*"
+
+
+def classify_domain(path: Path) -> str:
+    """File path -> rule domain (``sim`` / ``tools`` / ``test``)."""
+    parts = path.parts
+    if "tests" in parts or "benchmarks" in parts:
+        return "test"
+    if path.name.startswith(("test_", "bench_", "conftest")):
+        return "test"
+    if "repro" in parts:
+        after = parts.index("repro") + 1
+        member = parts[after] if after < len(parts) else path.name
+        if member in _TOOL_PACKAGES:
+            return "tools"
+        return "sim"
+    return "tools"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` (clickable in most editors)."""
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code}{tag} {self.message}"
+
+
+class FileContext:
+    """Everything a rule checker needs about one source file."""
+
+    def __init__(self, path: Path, source: str, domain: str | None = None):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.domain = classify_domain(path) if domain is None else domain
+        self.tree = ast.parse(source, filename=str(path))
+        #: ``import x as y`` -> {"y": "x"}; dotted modules keep dots.
+        self.import_aliases: dict[str, str] = {}
+        #: ``from m import n as y`` -> {"y": "m.n"}.
+        self.from_imports: dict[str, str] = {}
+        self._collect_imports()
+        self._suppressions = self._collect_suppressions()
+
+    # -- imports -----------------------------------------------------------
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.import_aliases[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve a call target to a canonical dotted name.
+
+        ``time.time`` (via ``import time``), ``t.time`` (via
+        ``import time as t``) and a bare ``time`` (via ``from time
+        import time``) all resolve to ``"time.time"``. Chains keep
+        resolving through from-imports, so ``datetime.now`` under
+        ``from datetime import datetime`` becomes
+        ``"datetime.datetime.now"``. Unresolvable expressions
+        (locals, attribute chains off calls) return ``None``.
+        """
+        attrs: list[str] = []
+        while isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base in self.from_imports:
+            root = self.from_imports[base]
+        elif base in self.import_aliases:
+            root = self.import_aliases[base]
+        else:
+            return None
+        return ".".join([root, *reversed(attrs)])
+
+    # -- suppressions ------------------------------------------------------
+    def _collect_suppressions(self) -> dict[int, set[str]]:
+        suppressions: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            codes_blob = match.group("codes")
+            if codes_blob is None or not codes_blob.strip():
+                codes = {ALL_CODES}
+            else:
+                codes = {c.strip().upper() for c in codes_blob.split(",") if c.strip()}
+            suppressions.setdefault(lineno, set()).update(codes)
+            # A comment-only line suppresses the next line too, so
+            # long (formatted) statements can carry the marker above.
+            if line.lstrip().startswith("#"):
+                suppressions.setdefault(lineno + 1, set()).update(codes)
+        return suppressions
+
+    def is_suppressed(self, code: str, lineno: int) -> bool:
+        """True if ``code`` is suppressed on ``lineno``."""
+        codes = self._suppressions.get(lineno)
+        if not codes:
+            return False
+        return ALL_CODES in codes or code.upper() in codes
+
+    # -- findings ----------------------------------------------------------
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` at ``node``, applying suppressions."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            code=code,
+            path=str(self.path),
+            line=lineno,
+            col=col + 1,
+            message=message,
+            suppressed=self.is_suppressed(code, lineno),
+        )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+    errors: tuple[str, ...] = ()
+
+    @property
+    def active(self) -> tuple[Finding, ...]:
+        """Findings that are not suppressed (these fail the run)."""
+        return tuple(f for f in self.findings if not f.suppressed)
+
+    @property
+    def suppressed(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.suppressed)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing failed (suppressed findings are fine)."""
+        return not self.active and not self.errors
+
+    def by_rule(self) -> dict[str, int]:
+        """Active finding counts per rule code."""
+        counts: dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+    def format_human(self, verbose_suppressed: bool = False) -> str:
+        """The report as ``path:line:col: CODE message`` lines."""
+        lines = [f.format() for f in self.active]
+        if verbose_suppressed:
+            lines.extend(f.format() for f in self.suppressed)
+        lines.extend(f"error: {e}" for e in self.errors)
+        counts = self.by_rule()
+        summary = ", ".join(f"{code}: {n}" for code, n in sorted(counts.items()))
+        lines.append(
+            f"{len(self.active)} finding(s) ({summary or 'none'}), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_checked} file(s) checked"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report (CI artifact format, schema v1)."""
+        return json.dumps(
+            {
+                "schema": 1,
+                "files_checked": self.files_checked,
+                "counts": self.by_rule(),
+                "findings": [
+                    {
+                        "code": f.code,
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "message": f.message,
+                        "suppressed": f.suppressed,
+                    }
+                    for f in self.findings
+                ],
+                "errors": list(self.errors),
+                "ok": self.ok,
+            },
+            indent=1,
+            sort_keys=True,
+        )
+
+
+def _selected_rules(select: Iterable[str] | None) -> list[Rule]:
+    if select is None:
+        return list(RULES.values())
+    rules = []
+    for code in select:
+        code = code.strip().upper()
+        if code not in RULES:
+            raise KeyError(f"unknown rule {code!r}; have {sorted(RULES)}")
+        rules.append(RULES[code])
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    *,
+    domain: str | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob (the unit the tests drive)."""
+    context = FileContext(Path(path), source, domain=domain)
+    findings: list[Finding] = []
+    for rule in _selected_rules(select):
+        if context.domain in rule.domains:
+            findings.extend(rule.checker(context))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint files and directories; the ``repro lint`` entry point.
+
+    Unreadable or syntactically invalid files are reported as errors
+    (they fail the run) rather than aborting the whole pass.
+    """
+    findings: list[Finding] = []
+    errors: list[str] = []
+    files = 0
+    rules = _selected_rules(select)  # validate --select up front
+    codes = [rule.code for rule in rules]
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            findings.extend(lint_source(source, path, select=codes))
+        except (OSError, SyntaxError, ValueError) as error:
+            errors.append(f"{path}: {error}")
+            continue
+        files += 1
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return LintReport(
+        findings=tuple(findings), files_checked=files, errors=tuple(errors)
+    )

@@ -1,0 +1,112 @@
+"""Checkpoint->recycle round-trip verification via the event-stream digest.
+
+The recycle-vs-fresh golden tests compare *measurements* (CSV rows);
+this check compares the raw dispatched event stream. With sanitize
+mode on, the kernel hashes every ``(time, seq, callback)`` it fires,
+so a recycled machine that diverges from a fresh build by even one
+event — a stale container alias, a handler re-armed during restore —
+produces a different digest, regardless of whether the divergence is
+visible in any aggregate metric.
+
+:func:`verify_recycle_roundtrip` drives both paths end to end:
+
+* **fresh** — build ``ServerMachine(config, seed)``, run the workload
+  for a window, take the digest;
+* **recycled** — build a second machine (any seed), checkpoint it,
+  dirty it with a full priming run, ``recycle(config, seed)``, rerun a
+  fresh workload instance over the same window, take the digest.
+
+The two digests must be byte-identical. The restore itself is also
+audited against the capture plan (see
+:meth:`repro.server.recycle.MachineCheckpoint._verify_restore`), so a
+mismatch here isolates divergence that happens *after* a structurally
+faithful restore — i.e. state the walker restored but the models then
+consumed differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.sanitize import SanitizerReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.configs import MachineConfig
+    from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class RoundTripReport:
+    """Outcome of one checkpoint->recycle digest comparison."""
+
+    seed: int
+    duration_ns: int
+    fresh: SanitizerReport
+    recycled: SanitizerReport
+
+    @property
+    def match(self) -> bool:
+        """True when the recycled run replayed the fresh event stream."""
+        return (
+            self.fresh.digest == self.recycled.digest
+            and self.fresh.events == self.recycled.events
+        )
+
+    def describe(self) -> str:
+        status = "match" if self.match else "DIVERGED"
+        return (
+            f"recycle round-trip {status}: fresh {self.fresh.events} events "
+            f"digest {self.fresh.digest[:12]}.., recycled "
+            f"{self.recycled.events} events digest "
+            f"{self.recycled.digest[:12]}.. (seed={self.seed}, "
+            f"window={self.duration_ns}ns)"
+        )
+
+
+def _run_window(
+    machine: Any, workload: "Workload", duration_ns: int
+) -> SanitizerReport:
+    workload.start(machine.sim, machine)
+    machine.run_for(duration_ns)
+    report = machine.sim.sanitize_report()
+    if report is None:  # pragma: no cover - guarded by sanitize=True below
+        raise RuntimeError("round-trip machines must run with sanitize=True")
+    return report
+
+
+def verify_recycle_roundtrip(
+    workload_factory: Callable[[], "Workload"],
+    config: "MachineConfig",
+    *,
+    seed: int = 0,
+    duration_ns: int = 20_000_000,
+    priming_seed: int = 1,
+) -> RoundTripReport:
+    """Compare fresh-build and recycled event-stream digests.
+
+    ``workload_factory`` must return a *new* workload instance per
+    call (workload objects hold per-run state). The priming run uses
+    ``priming_seed`` so the recycled machine is rewound from a state
+    that genuinely differs from the target run. Raises
+    :class:`~repro.server.recycle.CheckpointError` for configs whose
+    machines are not recyclable — that is a finding, not a failure of
+    this check.
+    """
+    from repro.server.machine import ServerMachine
+
+    fresh_machine = ServerMachine(config, seed, sanitize=True)
+    fresh = _run_window(fresh_machine, workload_factory(), duration_ns)
+
+    machine = ServerMachine(config, priming_seed, sanitize=True)
+    machine.checkpoint()
+    _run_window(machine, workload_factory(), duration_ns)
+    machine.recycle(config, seed)
+    recycled = _run_window(machine, workload_factory(), duration_ns)
+
+    return RoundTripReport(
+        seed=seed,
+        duration_ns=duration_ns,
+        fresh=fresh,
+        recycled=recycled,
+    )

@@ -61,9 +61,7 @@ class ResidencyWeightedModel:
         budget: SkxPowerBudget = DEFAULT_BUDGET,
     ):
         self.budget = budget
-        self.p_pc0_w = (
-            p_pc0_w if p_pc0_w is not None else budget.total_power_w("PC0")
-        )
+        self.p_pc0_w = (p_pc0_w if p_pc0_w is not None else budget.total_power_w("PC0"))
         self.p_pc0idle_w = (
             p_pc0idle_w if p_pc0idle_w is not None else budget.total_power_w("PC0idle")
         )
@@ -143,7 +141,9 @@ class Pc1aPowerDerivation:
         return self.p_soc_pc1a_w + self.p_dram_pc1a_w
 
     @classmethod
-    def from_budget(cls, budget: SkxPowerBudget = DEFAULT_BUDGET) -> "Pc1aPowerDerivation":
+    def from_budget(
+        cls, budget: SkxPowerBudget = DEFAULT_BUDGET
+    ) -> "Pc1aPowerDerivation":
         """Build the derivation from our component ledger."""
         return cls(
             p_soc_pc6_w=budget.soc_power_w("PC6"),

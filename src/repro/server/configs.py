@@ -87,11 +87,7 @@ def cpc1a() -> MachineConfig:
     )
 
 
-CONFIG_BUILDERS = {
-    "Cshallow": cshallow,
-    "Cdeep": cdeep,
-    "CPC1A": cpc1a,
-}
+CONFIG_BUILDERS = {"Cshallow": cshallow, "Cdeep": cdeep, "CPC1A": cpc1a}
 
 
 def config_by_name(name: str) -> MachineConfig:

@@ -63,12 +63,18 @@ class ServerMachine:
         sim: Simulator | None = None,
         meter: PowerMeter | None = None,
         channel_prefix: str = "",
+        sanitize: bool | None = None,
     ):
         self.config = config
         if sim is None and meter is not None:
             sim = meter.sim
+        if sim is not None and sanitize is not None:
+            raise ValueError(
+                "sanitize= configures the machine's private simulator; an "
+                "externally-owned sim decides its own sanitize mode"
+            )
         self._owns_sim = sim is None
-        self.sim = Simulator(seed) if sim is None else sim
+        self.sim = Simulator(seed, sanitize=sanitize) if sim is None else sim
         self._owns_meter = meter is None
         if meter is not None and meter.sim is not self.sim:
             raise ValueError(
@@ -105,7 +111,11 @@ class ServerMachine:
         )
         # High-speed IO links and their PLLs.
         self.links: list[IoLink] = []
-        for kind, count in (("pcie", soc.n_pcie), ("dmi", soc.n_dmi), ("upi", soc.n_upi)):
+        for kind, count in (
+            ("pcie", soc.n_pcie),
+            ("dmi", soc.n_dmi),
+            ("upi", soc.n_upi),
+        ):
             for index in range(count):
                 link = make_link(
                     self.sim, kind, index,

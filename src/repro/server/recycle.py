@@ -256,3 +256,45 @@ class MachineCheckpoint:
         schedule_at = sim.schedule_at
         for time_ns, fn, args in self._replay:
             schedule_at(time_ns, fn, *args)
+        if sim._sanitizer is not None:
+            self._verify_restore(sim)
+
+    def _verify_restore(self, sim: Simulator) -> None:
+        """Sanitize-mode audit: the restored queue must byte-match capture.
+
+        A fresh machine's construction queue holds exactly the replay
+        plan with sequence numbers ``0..n-1``; after a restore the live
+        queue must be identical in ``(time, seq, callback, args)`` or
+        the recycled machine would dispatch a different event stream
+        than a fresh build. The walker itself cannot drift here, but a
+        component that mutates captured state during restore (e.g. a
+        ``__setattr__`` side effect re-arming a timer) can — this check
+        turns that silent divergence into a loud CheckpointError.
+        """
+        from repro.sim.sanitize import callback_label
+
+        live = [
+            (time_ns, seq, event)
+            for time_ns, seq, event in sorted(sim._queue)
+            if not event.cancelled
+        ]
+        if len(live) != len(self._replay):
+            raise CheckpointError(
+                f"restore audit: {len(live)} live events after restore, "
+                f"capture recorded {len(self._replay)}"
+            )
+        for index, (plan, entry) in enumerate(zip(self._replay, live)):
+            time_ns, fn, args = plan
+            got_time, got_seq, event = entry
+            if (
+                got_time != time_ns
+                or got_seq != index
+                or event.fn is not fn
+                or event.args != args
+            ):
+                raise CheckpointError(
+                    "restore audit: event stream diverged at replay index "
+                    f"{index}: expected (t={time_ns}, seq={index}, "
+                    f"{callback_label(fn)}), got (t={got_time}, "
+                    f"seq={got_seq}, {callback_label(event.fn)})"
+                )

@@ -69,9 +69,7 @@ class OsTimerTicks:
             )
         stagger = self.period_ns // max(1, len(self.cores))
         for index, core in enumerate(self.cores):
-            timer = PeriodicTimer(
-                self.sim, self.period_ns, self._make_tick(core)
-            )
+            timer = PeriodicTimer(self.sim, self.period_ns, self._make_tick(core))
             self._timers.append(timer)
             self._arm_events.append(self.sim.schedule(index * stagger, timer.start))
 

@@ -10,12 +10,16 @@ driven by one shared :class:`Simulator` instance.
 
 from repro.sim.engine import Event, Simulator, SimulationError
 from repro.sim.process import Process, Delay, WaitEvent, Interrupt
+from repro.sim.sanitize import AmbiguousTimestamp, EventStreamSanitizer, SanitizerReport
 from repro.sim.timers import PeriodicTimer
 
 __all__ = [
+    "AmbiguousTimestamp",
     "Event",
+    "EventStreamSanitizer",
     "Simulator",
     "SimulationError",
+    "SanitizerReport",
     "Process",
     "Delay",
     "WaitEvent",

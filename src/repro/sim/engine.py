@@ -38,10 +38,13 @@ Example
 from __future__ import annotations
 
 import heapq
+import os
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable
 
 import numpy as np
+
+from repro.sim.sanitize import EventStreamSanitizer, SanitizerReport
 
 #: Compact the heap once at least this many cancelled events are
 #: queued *and* they make up at least half the heap. The floor keeps
@@ -67,8 +70,13 @@ class Event:
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_sim", "_in_heap")
 
     def __init__(
-        self, time: int, seq: int, fn: Callable[..., Any], args: tuple, sim: "Simulator"
-    ):
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator",
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -95,8 +103,11 @@ class Event:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
-        return f"Event(t={self.time}, fn={getattr(self.fn, '__name__', self.fn)!r}, {state})"
+        state = (
+            "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        )
+        fn_name = getattr(self.fn, "__name__", self.fn)
+        return f"Event(t={self.time}, fn={fn_name!r}, {state})"
 
 
 #: ``object.__new__`` bound once: the scheduling fast path constructs
@@ -109,7 +120,9 @@ def _as_int_ns(value: Any) -> int:
     try:
         as_int = int(value)
     except (TypeError, ValueError):
-        raise SimulationError(f"simulation times must be integers, got {value!r}") from None
+        raise SimulationError(
+            f"simulation times must be integers, got {value!r}"
+        ) from None
     if as_int != value:
         raise SimulationError(
             f"simulation times must be whole nanoseconds, got {value!r} "
@@ -127,9 +140,17 @@ class Simulator:
         Seed for the simulator-owned random generator (``sim.rng``).
         All stochastic models draw from this generator so a seed fully
         determines a run.
+    sanitize:
+        Route every dispatch through the determinism sanitizer
+        (:mod:`repro.sim.sanitize`): event-stream hashing plus
+        same-timestamp ambiguity detection, surfaced by
+        :meth:`sanitize_report`. ``None`` (the default) consults the
+        ``REPRO_SANITIZE`` environment variable (off unless set to a
+        non-empty value other than ``0``). Sanitize mode costs a hash
+        update per event — leave it off for benchmarks.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, *, sanitize: bool | None = None) -> None:
         self._queue: list[tuple[int, int, Event]] = []
         self._now: int = 0
         self._seq: int = 0
@@ -140,6 +161,11 @@ class Simulator:
         self._heap_compactions: int = 0
         self._peak_heap_size: int = 0
         self._running = False
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "0") not in ("", "0")
+        self._sanitizer: EventStreamSanitizer | None = (
+            EventStreamSanitizer() if sanitize else None
+        )
         self.rng: np.random.Generator = np.random.default_rng(seed)
         self.seed = seed
 
@@ -227,6 +253,8 @@ class Simulator:
         event.fired = False
         event._sim = self
         event._in_heap = True
+        if self._sanitizer is not None:
+            self._sanitizer.note_scheduled(seq, self._now, fn)
         queue = self._queue
         _heappush(queue, (time_ns, seq, event))
         if len(queue) > self._peak_heap_size:
@@ -252,6 +280,8 @@ class Simulator:
         event.fired = False
         event._sim = self
         event._in_heap = True
+        if self._sanitizer is not None:
+            self._sanitizer.note_scheduled(seq, self._now, fn)
         queue = self._queue
         _heappush(queue, (time_ns, seq, event))
         if len(queue) > self._peak_heap_size:
@@ -284,6 +314,8 @@ class Simulator:
         event.cancelled = False
         event.fired = False
         event._in_heap = True
+        if self._sanitizer is not None:
+            self._sanitizer.note_scheduled(seq, self._now, event.fn)
         self._events_reused += 1
         queue = self._queue
         _heappush(queue, (time_ns, seq, event))
@@ -322,6 +354,7 @@ class Simulator:
         """Execute the next pending event. Returns False if none left."""
         queue = self._queue
         pop = _heappop
+        sanitizer = self._sanitizer
         while queue:
             time_ns, _seq, event = pop(queue)
             event._in_heap = False
@@ -331,6 +364,8 @@ class Simulator:
             self._now = time_ns
             event.fired = True
             self._events_processed += 1
+            if sanitizer is not None:
+                sanitizer.observe(time_ns, _seq, event.fn)
             event.fn(*event.args)
             return True
         return False
@@ -344,6 +379,11 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
+        if self._sanitizer is not None:
+            # The sanitized loop pays an observe() per event; keeping
+            # it out of line leaves the default hot loops untouched.
+            self._run_sanitized(until_ns)
+            return
         self._running = True
         # The loops below are step() inlined with hoisted locals: they
         # retire the vast majority of all events, so attribute lookups
@@ -383,6 +423,53 @@ class Simulator:
         finally:
             self._running = False
 
+    def _run_sanitized(self, until_ns: int | None) -> None:
+        """The :meth:`run` loop with per-dispatch sanitizer observation."""
+        self._running = True
+        sanitizer = self._sanitizer
+        try:
+            if until_ns is not None:
+                if type(until_ns) is not int:
+                    until_ns = _as_int_ns(until_ns)
+                if until_ns < self._now:
+                    raise SimulationError(
+                        f"cannot run until t={until_ns} before now={self._now}"
+                    )
+            queue = self._queue
+            pop = _heappop
+            while queue and (until_ns is None or queue[0][0] <= until_ns):
+                time_ns, _seq, event = pop(queue)
+                event._in_heap = False
+                if event.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                self._now = time_ns
+                event.fired = True
+                self._events_processed += 1
+                sanitizer.observe(time_ns, _seq, event.fn)
+                event.fn(*event.args)
+            if until_ns is not None:
+                self._now = until_ns
+        finally:
+            self._running = False
+
+    # -- sanitizer --------------------------------------------------------
+    @property
+    def sanitize(self) -> bool:
+        """True while the determinism sanitizer is observing dispatches."""
+        return self._sanitizer is not None
+
+    def sanitize_report(self) -> SanitizerReport | None:
+        """Snapshot of the sanitizer's observations (None if off).
+
+        Non-destructive — may be taken mid-run; the digest covers
+        every event dispatched since construction or the last
+        :meth:`reset`.
+        """
+        if self._sanitizer is None:
+            return None
+        return self._sanitizer.report()
+
     # -- lifecycle -------------------------------------------------------
     def reset(self, seed: int | None = None) -> None:
         """Return the simulator to its just-constructed state.
@@ -409,6 +496,8 @@ class Simulator:
         self._cancelled_in_heap = 0
         self._heap_compactions = 0
         self._peak_heap_size = 0
+        if self._sanitizer is not None:
+            self._sanitizer = EventStreamSanitizer()
         if seed is None:
             seed = self.seed
         self.rng = np.random.default_rng(seed)

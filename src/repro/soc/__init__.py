@@ -8,14 +8,7 @@ Fig. 2), and the machine configuration (Xeon Silver 4114: 10 cores,
 3 PCIe + 1 DMI + 2 UPI links, 2 memory controllers).
 """
 
-from repro.soc.cstates import (
-    CC0,
-    CC1,
-    CC1E,
-    CC6,
-    CoreCState,
-    cstate_by_name,
-)
+from repro.soc.cstates import (CC0, CC1, CC1E, CC6, CoreCState, cstate_by_name)
 from repro.soc.cpu import Core, CoreError
 from repro.soc.governors import (
     GovernorError,
@@ -25,11 +18,7 @@ from repro.soc.governors import (
 )
 from repro.soc.pll import Pll
 from repro.soc.clock_tree import ClockTree
-from repro.soc.package import (
-    PackageCState,
-    PackageController,
-    StaticPc0Controller,
-)
+from repro.soc.package import (PackageCState, PackageController, StaticPc0Controller)
 from repro.soc.gpmu import Gpmu, Pc6FlowTimings
 from repro.soc.config import SocConfig, SKX_CONFIG
 from repro.soc.clm import ClmDomain

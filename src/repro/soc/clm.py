@@ -98,4 +98,5 @@ class ClmDomain:
             self.channel.set_power(self.spec.for_voltage(self.voltage))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"ClmDomain({self.voltage:.2f} V, {'avail' if self.available else 'down'})"
+        status = "avail" if self.available else "down"
+        return f"ClmDomain({self.voltage:.2f} V, {status})"

@@ -46,7 +46,8 @@ class SkxFloorplan:
 
     def _build(self) -> None:
         # North cap occupies row 0: IO controllers + PMUs.
-        for col, name in enumerate(["pcie0", "pcie1", "pcie2", "dmi0"][: self.mesh_cols]):
+        north = ["pcie0", "pcie1", "pcie2", "dmi0"][: self.mesh_cols]
+        for col, name in enumerate(north):
             self._add_tile(Tile(name, "northcap", 0, col))
         self._add_tile(Tile("gpmu", "northcap", 0, 0))
         self._add_tile(Tile("apmu", "northcap", 0, 1))

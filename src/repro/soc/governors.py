@@ -91,9 +91,7 @@ class MenuGovernor(IdleGovernor):
         return choice
 
     def observe_idle(self, core, duration_ns: int) -> None:
-        samples = self._samples.setdefault(
-            core.index, deque(maxlen=self.history)
-        )
+        samples = self._samples.setdefault(core.index, deque(maxlen=self.history))
         samples.append(int(duration_ns))
 
 

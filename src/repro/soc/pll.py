@@ -87,7 +87,9 @@ class Pll:
                 self.sim.schedule(remaining, on_locked)
             return remaining
         self.relock_count += 1
-        self._lock_event = self.sim.schedule(self.relock_ns, self._locked_now, on_locked)
+        self._lock_event = self.sim.schedule(
+            self.relock_ns, self._locked_now, on_locked
+        )
         return self.relock_ns
 
     def _locked_now(self, on_locked: Callable[[], None] | None) -> None:

@@ -37,11 +37,7 @@ from repro.sweep.runner import (
     run_cell,
     run_sweep,
 )
-from repro.sweep.session import (
-    SweepCellError,
-    SweepSession,
-    recycling_enabled,
-)
+from repro.sweep.session import (SweepCellError, SweepSession, recycling_enabled)
 from repro.sweep.spec import (
     ExperimentSpec,
     SweepSpec,

@@ -110,9 +110,7 @@ def aggregate_over_seeds(
         else [("", None, None)] * len(results)
     )
     if len(labels) != len(results):
-        raise ValueError(
-            f"{len(results)} results but {len(labels)} cells"
-        )
+        raise ValueError(f"{len(results)} results but {len(labels)} cells")
     # Explicit cell lists may repeat a physical cell (the runner
     # simulates it once and returns it per cell); counting the shared
     # result once per repeat would inflate n and shrink the CI.

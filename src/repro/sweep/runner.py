@@ -41,9 +41,7 @@ def default_workers() -> int:
                 f"REPRO_SWEEP_WORKERS must be an integer, got {override!r}"
             ) from None
         if count < 0:
-            raise ValueError(
-                f"REPRO_SWEEP_WORKERS must be >= 0, got {count}"
-            )
+            raise ValueError(f"REPRO_SWEEP_WORKERS must be >= 0, got {count}")
         if count > 0:
             return count
     return max(1, os.cpu_count() or 1)
@@ -167,9 +165,7 @@ class SweepRunner:
         if progress is not None:
             on_progress = lambda cell: progress(cell.label())  # noqa: E731
         if self.session is not None:
-            return self.session.run(
-                self.cells, store=self.store, progress=on_progress
-            )
+            return self.session.run(self.cells, store=self.store, progress=on_progress)
         with SweepSession(workers=self.workers) as session:
             # The session forks its pool lazily, sized to the cells
             # actually pending after the cache pre-pass — a 2-cell (or

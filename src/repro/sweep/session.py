@@ -277,7 +277,9 @@ class SweepSession:
         spec: SweepSpec | Sequence[ExperimentSpec],
         store=None,
         progress: Callable[[ExperimentSpec], None] | None = None,
-        on_result: Callable[[ExperimentSpec, ExperimentResult, bool], None] | None = None,
+        on_result: (
+            Callable[[ExperimentSpec, ExperimentResult, bool], None] | None
+        ) = None,
     ):
         """Run every cell; returns results in deterministic cell order.
 
@@ -340,9 +342,7 @@ class SweepSession:
         simulate_s = 0.0
         worker_hits = 0
         self._last_parallelism = 1
-        store_root = (
-            str(store.root) if isinstance(store, ResultStore) else None
-        )
+        store_root = (str(store.root) if isinstance(store, ResultStore) else None)
         for key, status, result, cell_build_s, cell_sim_s in self._execute(
             pending, store_root, progress, pending_by_key
         ):
@@ -354,9 +354,7 @@ class SweepSession:
                 # (and rather than shipping it over IPC).
                 result = store.get(key)
                 if result is None:  # racing deletion/corruption
-                    key, status, result, b, s = _cell_task(
-                        (pending_by_key[key], None)
-                    )
+                    key, status, result, b, s = _cell_task((pending_by_key[key], None))
                     build_s += b
                     simulate_s += s
                 else:

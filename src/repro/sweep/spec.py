@@ -15,6 +15,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import Any
 
 from repro.scenarios import registry as scenarios
 from repro.server.configs import CONFIG_BUILDERS, MachineConfig, config_by_name
@@ -162,17 +163,21 @@ def resolve_window(
     return duration, warmup
 
 
-def memcached_points(rates: tuple[float, ...] | list[float]) -> tuple[WorkloadPoint, ...]:
+def memcached_points(
+    rates: tuple[float, ...] | list[float],
+) -> tuple[WorkloadPoint, ...]:
     """Rate list -> memcached points (rate 0 = the fully idle server)."""
     return tuple(WorkloadPoint("memcached", qps=float(r)) for r in rates)
 
 
-def preset_points(workload: str, presets: tuple[str, ...] | list[str]) -> tuple[WorkloadPoint, ...]:
+def preset_points(
+    workload: str, presets: tuple[str, ...] | list[str]
+) -> tuple[WorkloadPoint, ...]:
     """Preset list -> mysql/kafka points."""
     return tuple(WorkloadPoint(workload, preset=p) for p in presets)
 
 
-def canonical_point(scenario: str, qps: float, preset: str) -> dict:
+def canonical_point(scenario: str, qps: float, preset: str) -> dict[str, Any]:
     """Canonical (scenario, qps, preset) triple for cache keys.
 
     Different spellings of one physical operating point must share a
@@ -253,12 +258,12 @@ class ExperimentSpec:
         return self.preset if scenarios.get(self.scenario).uses_preset else ""
 
     # -- identity ----------------------------------------------------------
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Plain-data form (JSON- and pickle-friendly)."""
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ExperimentSpec":
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentSpec":
         """Inverse of :meth:`as_dict`."""
         return cls(**data)
 
@@ -334,8 +339,11 @@ class SweepSpec:
                 )
         # Repeats would double-weight cells in the per-seed means and
         # understate the confidence intervals.
-        for label, values in (("seeds", self.seeds), ("configs", self.configs),
-                              ("workload points", self.workloads)):
+        for label, values in (
+            ("seeds", self.seeds),
+            ("configs", self.configs),
+            ("workload points", self.workloads),
+        ):
             if len(set(values)) != len(values):
                 raise ValueError(f"duplicate {label} in sweep: {values}")
         if self.duration_ns is not None and self.duration_ns <= 0:

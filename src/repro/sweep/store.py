@@ -43,9 +43,7 @@ def _encode_result(result) -> tuple[str, dict]:
     kind = getattr(result, "result_kind", None)
     if kind == "fleet":
         return kind, result.as_dict()
-    raise TypeError(
-        f"cannot store a result of type {type(result).__name__!r}"
-    )
+    raise TypeError(f"cannot store a result of type {type(result).__name__!r}")
 
 
 def _decode_result(kind: str | None, data: dict):
@@ -179,8 +177,9 @@ class StreamingCsvWriter:
     discards the temp file instead.
     """
 
-    def __init__(self, path: str | Path, columns: tuple[str, ...] | None = None,
-                 flatten=None):
+    def __init__(
+        self, path: str | Path, columns: tuple[str, ...] | None = None, flatten=None
+    ):
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._tmp = self._path.with_name(f"{self._path.name}.{os.getpid()}.tmp")
@@ -196,8 +195,9 @@ class StreamingCsvWriter:
         self._writer.writeheader()
         self.rows = 0
 
-    def write(self, result: ExperimentResult,
-              spec: ExperimentSpec | None = None) -> None:
+    def write(
+        self, result: ExperimentResult, spec: ExperimentSpec | None = None
+    ) -> None:
         """Append one cell's row."""
         self._writer.writerow(self._flatten(result, spec=spec))
         self.rows += 1

@@ -62,9 +62,7 @@ class TransitionTrace:
         """Append one event (oldest events drop beyond capacity)."""
         if len(self.events) == self.capacity:
             self.dropped += 1
-        self.events.append(
-            TransitionEvent(self.sim.now, entity, from_state, to_state)
-        )
+        self.events.append(TransitionEvent(self.sim.now, entity, from_state, to_state))
 
     def __len__(self) -> int:
         return len(self.events)

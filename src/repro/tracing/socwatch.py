@@ -40,11 +40,7 @@ class SocWatchView:
     #: The sampling floor the paper reports for SoCWatch.
     SAMPLING_FLOOR_NS = 10 * US
 
-    def __init__(
-        self,
-        tracker: IdlePeriodTracker,
-        floor_ns: int = SAMPLING_FLOOR_NS,
-    ):
+    def __init__(self, tracker: IdlePeriodTracker, floor_ns: int = SAMPLING_FLOOR_NS):
         if floor_ns < 0:
             raise ValueError(f"floor must be non-negative, got {floor_ns}")
         self.tracker = tracker

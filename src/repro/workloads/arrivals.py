@@ -87,19 +87,13 @@ class MMPPArrivals(ArrivalProcess):
     trough) compressed to simulation time scales.
     """
 
-    def __init__(
-        self,
-        rates_per_s: Sequence[float],
-        dwell_ns: Sequence[int],
-    ):
+    def __init__(self, rates_per_s: Sequence[float], dwell_ns: Sequence[int]):
         rates = tuple(float(r) for r in rates_per_s)
         dwells = tuple(int(d) for d in dwell_ns)
         if len(rates) < 2:
             raise ValueError(f"need at least two phases, got {len(rates)}")
         if len(rates) != len(dwells):
-            raise ValueError(
-                f"{len(rates)} rates but {len(dwells)} dwell times"
-            )
+            raise ValueError(f"{len(rates)} rates but {len(dwells)} dwell times")
         if any(rate < 0 for rate in rates):
             raise ValueError(f"rates cannot be negative: {rates}")
         if max(rates) <= 0:
@@ -137,9 +131,7 @@ class MMPPArrivals(ArrivalProcess):
             # Cross into the next phase and keep sampling.
             gap += self._phase_left_ns
             self._phase = (self._phase + 1) % len(self.rates_per_s)
-            self._phase_left_ns = float(
-                rng.exponential(self.dwell_ns[self._phase])
-            )
+            self._phase_left_ns = float(rng.exponential(self.dwell_ns[self._phase]))
 
 
 class MmppArrivals(MMPPArrivals):
@@ -205,9 +197,7 @@ class TraceReplayArrivals(ArrivalProcess):
     def next_gap_ns(self, rng: np.random.Generator) -> int:
         if self._cursor >= len(self.gaps_ns):
             if not self.cycle:
-                raise IndexError(
-                    f"trace exhausted after {len(self.gaps_ns)} arrivals"
-                )
+                raise IndexError(f"trace exhausted after {len(self.gaps_ns)} arrivals")
             self._cursor = 0
         gap = self.gaps_ns[self._cursor]
         self._cursor += 1
@@ -305,9 +295,7 @@ class ConvoyArrivals(ArrivalProcess):
     def next_gap_ns(self, rng: np.random.Generator) -> int:
         while not self._pending:
             count = int(rng.poisson(self.batch_mean))
-            offsets = sorted(
-                int(rng.uniform(0, self.spread_ns)) for _ in range(count)
-            )
+            offsets = sorted(int(rng.uniform(0, self.spread_ns)) for _ in range(count))
             self._pending = [self._period_start_ns + off for off in offsets]
             self._period_start_ns += self.period_ns
         arrival = self._pending.pop(0)

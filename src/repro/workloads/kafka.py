@@ -45,12 +45,7 @@ class KafkaParams:
     @property
     def message_rate_per_s(self) -> float:
         """Aggregate message throughput across workers."""
-        return (
-            self.n_workers
-            * self.batch_messages_mean
-            * 1e9
-            / self.poll_interval_ns
-        )
+        return (self.n_workers * self.batch_messages_mean * 1e9 / self.poll_interval_ns)
 
     @property
     def mean_batch_service_ns(self) -> float:

@@ -48,9 +48,7 @@ class MySqlParams:
         if self.pacing_shape is not None:
             return GammaArrivals(self.rate_per_s, self.pacing_shape)
         batch_mean = self.rate_per_s * self.convoy_period_ns / 1e9
-        return ConvoyArrivals(
-            self.convoy_period_ns, batch_mean, self.convoy_spread_ns
-        )
+        return ConvoyArrivals(self.convoy_period_ns, batch_mean, self.convoy_spread_ns)
 
     def service(self) -> LognormalService:
         """Build this preset's service model."""

@@ -59,9 +59,7 @@ class NginxWorkload(Workload):
             self.qps, self.ARRIVAL_SHAPE
         )
         self._static = ExponentialService(self.STATIC_MEAN_NS)
-        self._dynamic = LognormalService(
-            self.DYNAMIC_MEDIAN_NS, self.DYNAMIC_SIGMA
-        )
+        self._dynamic = LognormalService(self.DYNAMIC_MEDIAN_NS, self.DYNAMIC_SIGMA)
 
     @property
     def offered_qps(self) -> float:

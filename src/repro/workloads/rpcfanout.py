@@ -54,9 +54,7 @@ class RpcFanoutWorkload(Workload):
             raise ValueError(f"fanout must be at least 1, got {fanout}")
         self.qps = float(qps)
         self.fanout = int(fanout)
-        self.arrivals = arrivals if arrivals is not None else PoissonArrivals(
-            self.qps
-        )
+        self.arrivals = arrivals if arrivals is not None else PoissonArrivals(self.qps)
         self._sub = ExponentialService(self.SUB_MEAN_NS)
         self._merge = ExponentialService(self.MERGE_MEAN_NS)
 

@@ -91,12 +91,7 @@ class LoadCalibratedService(ServiceModel):
     ``mean(qps) = floor_us + span_us * exp(-qps / decay_qps)``.
     """
 
-    def __init__(
-        self,
-        floor_us: float,
-        span_us: float,
-        decay_qps: float,
-    ):
+    def __init__(self, floor_us: float, span_us: float, decay_qps: float):
         if floor_us <= 0 or span_us < 0 or decay_qps <= 0:
             raise ValueError("calibration constants must be positive")
         self.floor_us = floor_us
@@ -104,9 +99,7 @@ class LoadCalibratedService(ServiceModel):
         self.decay_qps = decay_qps
 
     def mean_ns(self, offered_qps: float) -> float:
-        mean_us = self.floor_us + self.span_us * math.exp(
-            -offered_qps / self.decay_qps
-        )
+        mean_us = self.floor_us + self.span_us * math.exp(-offered_qps / self.decay_qps)
         return mean_us * US
 
     def sample_ns(self, rng: np.random.Generator, offered_qps: float) -> int:

@@ -96,7 +96,4 @@ class CompositeWorkload(Workload):
             workload.start(sim, target)
 
     def describe(self) -> dict:
-        return {
-            "name": self.name,
-            "parts": [w.describe() for w in self.workloads],
-        }
+        return {"name": self.name, "parts": [w.describe() for w in self.workloads]}

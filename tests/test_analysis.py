@@ -11,7 +11,12 @@ from repro.analysis.report import (
     format_table,
 )
 from repro.analysis.savings import savings_between
-from repro.analysis.tables import TABLE1_PAPER, build_table1, build_table2, format_table1
+from repro.analysis.tables import (
+    TABLE1_PAPER,
+    build_table1,
+    build_table2,
+    format_table1,
+)
 from repro.server.configs import cpc1a, cshallow
 from repro.server.experiment import run_experiment
 from repro.units import MS
@@ -20,10 +25,12 @@ from repro.workloads.memcached import MemcachedWorkload
 
 def paired_results(qps=20_000, seed=17, duration=25 * MS):
     workload = MemcachedWorkload(qps)
-    base = run_experiment(workload, cshallow(), duration_ns=duration,
-                          warmup_ns=5 * MS, seed=seed)
-    apc = run_experiment(workload, cpc1a(), duration_ns=duration,
-                         warmup_ns=5 * MS, seed=seed)
+    base = run_experiment(
+        workload, cshallow(), duration_ns=duration, warmup_ns=5 * MS, seed=seed
+    )
+    apc = run_experiment(
+        workload, cpc1a(), duration_ns=duration, warmup_ns=5 * MS, seed=seed
+    )
     return base, apc
 
 
@@ -36,9 +43,7 @@ class TestSavings:
         assert point.saved_watts == pytest.approx(
             point.baseline_power_w - point.apc_power_w
         )
-        assert point.savings_percent == pytest.approx(
-            100 * point.savings_fraction
-        )
+        assert point.savings_percent == pytest.approx(100 * point.savings_fraction)
 
     def test_mismatched_workloads_rejected(self):
         base, apc = paired_results()
@@ -62,9 +67,7 @@ class TestPerfModel:
     def test_added_latency_formula(self):
         base, apc = paired_results()
         estimate = estimate_perf_impact(apc, base.latency.mean_us)
-        expected_total = (
-            apc.pc1a_exits * 200 * apc.active_after_idle_mean
-        )
+        expected_total = (apc.pc1a_exits * 200 * apc.active_after_idle_mean)
         assert estimate.added_latency_ns_total == pytest.approx(expected_total)
 
     def test_zero_cost_means_zero_impact(self):
@@ -128,9 +131,7 @@ class TestReportHelpers:
         assert PaperComparison("m", 0.0, 1.0).relative_error == float("inf")
 
     def test_comparison_table_renders(self):
-        text = comparison_table(
-            [PaperComparison("idle savings", 41.0, 41.2, unit="%")]
-        )
+        text = comparison_table([PaperComparison("idle savings", 41.0, 41.2, unit="%")])
         assert "MATCH" in text
         assert "idle savings" in text
 

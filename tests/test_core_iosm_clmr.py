@@ -43,9 +43,7 @@ class TestIosmWiring:
 
     def test_link_states_view(self, apc_machine):
         states = apc_machine.iosm.link_states()
-        assert set(states) == {
-            "pcie0", "pcie1", "pcie2", "dmi0", "upi0", "upi1"
-        }
+        assert set(states) == {"pcie0", "pcie1", "pcie2", "dmi0", "upi0", "upi1"}
 
     def test_five_long_distance_signals(self, apc_machine):
         # Sec. 5.1's area accounting input.
@@ -110,9 +108,7 @@ class TestClmr:
     def test_clm_power_during_ramp_is_midpoint(self, sim):
         clm, meter = make_clm(sim)
         clm.ret.set(True)
-        expected = (
-            DEFAULT_BUDGET.clm.nominal_w + DEFAULT_BUDGET.clm.retention_w
-        ) / 2
+        expected = (DEFAULT_BUDGET.clm.nominal_w + DEFAULT_BUDGET.clm.retention_w) / 2
         assert meter["clm"].power_w == pytest.approx(expected, rel=0.05)
 
 
@@ -184,9 +180,7 @@ class TestAreaModel:
 
     def test_signal_overhead_scales_linearly(self):
         model = SkxAreaModel()
-        assert model.signal_overhead(10) == pytest.approx(
-            2 * model.signal_overhead(5)
-        )
+        assert model.signal_overhead(10) == pytest.approx(2 * model.signal_overhead(5))
 
     def test_validation(self):
         with pytest.raises(ValueError):

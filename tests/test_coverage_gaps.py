@@ -68,8 +68,9 @@ class TestSocWatchVisiblePeriods:
 
 class TestExperimentResultViews:
     def test_pc6_residency_view(self):
-        result = run_experiment(NullWorkload(), cdeep(),
-                                duration_ns=10 * MS, warmup_ns=5 * MS)
+        result = run_experiment(
+            NullWorkload(), cdeep(), duration_ns=10 * MS, warmup_ns=5 * MS
+        )
         assert result.pc6_residency() > 0.99
         assert result.pc1a_residency() == 0.0
 
@@ -77,8 +78,14 @@ class TestExperimentResultViews:
         from repro.server.machine import ServerMachine
 
         machine = ServerMachine(cpc1a(), seed=8)
-        first = run_experiment(NullWorkload(), cpc1a(), duration_ns=5 * MS,
-                               warmup_ns=1 * MS, seed=8, machine=machine)
+        first = run_experiment(
+            NullWorkload(),
+            cpc1a(),
+            duration_ns=5 * MS,
+            warmup_ns=1 * MS,
+            seed=8,
+            machine=machine,
+        )
         # The same machine can be measured again for a second window.
         machine.begin_measurement()
         machine.run_for(5 * MS)
@@ -145,20 +152,17 @@ class TestCliCompareAndWorkloads:
 
     def test_export_rejects_empty_rates(self, tmp_path):
         with pytest.raises(SystemExit):
-            cli_main([
-                "export", "--rates", "", "--out", str(tmp_path / "x.csv"),
-            ])
+            cli_main(["export", "--rates", "", "--out", str(tmp_path / "x.csv")])
 
 
 class TestMachineTicksIntegration:
     def test_nohz_machine_still_reaches_pc1a(self):
         import dataclasses
 
-        config = dataclasses.replace(
-            cpc1a(), timer_tick_hz=250, tick_mode="nohz_idle"
+        config = dataclasses.replace(cpc1a(), timer_tick_hz=250, tick_mode="nohz_idle")
+        result = run_experiment(
+            NullWorkload(), config, duration_ns=20 * MS, warmup_ns=5 * MS
         )
-        result = run_experiment(NullWorkload(), config,
-                                duration_ns=20 * MS, warmup_ns=5 * MS)
         # NOHZ suppresses idle ticks entirely on an idle machine.
         assert result.pc1a_residency() > 0.99
 

@@ -63,10 +63,15 @@ class TestOsTimerTicks:
         return dataclasses.replace(cpc1a(), timer_tick_hz=hz, tick_mode=mode)
 
     def test_periodic_ticks_fragment_pc1a(self):
-        tickless = run_experiment(NullWorkload(), cpc1a(),
-                                  duration_ns=50 * MS, warmup_ns=10 * MS)
-        ticked = run_experiment(NullWorkload(), self._ticked_config(1000),
-                                duration_ns=50 * MS, warmup_ns=10 * MS)
+        tickless = run_experiment(
+            NullWorkload(), cpc1a(), duration_ns=50 * MS, warmup_ns=10 * MS
+        )
+        ticked = run_experiment(
+            NullWorkload(),
+            self._ticked_config(1000),
+            duration_ns=50 * MS,
+            warmup_ns=10 * MS,
+        )
         assert ticked.pc1a_residency() < tickless.pc1a_residency()
         assert ticked.pc1a_exits > 100  # per-core 1 kHz ticks
 
@@ -78,8 +83,12 @@ class TestOsTimerTicks:
     def test_higher_rates_hurt_more(self):
         residencies = []
         for hz in (100, 1000):
-            result = run_experiment(NullWorkload(), self._ticked_config(hz),
-                                    duration_ns=50 * MS, warmup_ns=10 * MS)
+            result = run_experiment(
+                NullWorkload(),
+                self._ticked_config(hz),
+                duration_ns=50 * MS,
+                warmup_ns=10 * MS,
+            )
             residencies.append(result.pc1a_residency())
         assert residencies[1] < residencies[0]
 
@@ -158,9 +167,7 @@ class TestFleetModel:
 
     def test_annual_energy(self):
         fleet = self._fleet()
-        assert fleet.annual_energy_kwh(0.0) == pytest.approx(
-            500.0 * 24 * 365 / 1000.0
-        )
+        assert fleet.annual_energy_kwh(0.0) == pytest.approx(500.0 * 24 * 365 / 1000.0)
 
     def test_fleet_savings(self):
         base = self._fleet()

@@ -60,8 +60,9 @@ class TestClusterConfig:
         assert ClusterConfig(pack_watermark=3).resolved_pack_watermark() == 3
 
     def test_label(self):
-        cluster = ClusterConfig(machine="CPC1A", n_servers=16,
-                                routing="power-aware-pack")
+        cluster = ClusterConfig(
+            machine="CPC1A", n_servers=16, routing="power-aware-pack"
+        )
         assert cluster.label() == "CPC1Ax16/power-aware-pack"
 
 
@@ -146,10 +147,8 @@ class TestRouting:
         assert fleet.balancer.outstanding == [0, 0]
 
     def test_dispatch_latency_is_in_end_to_end_latency(self):
-        slow = ClusterConfig(machine="CPC1A", n_servers=1,
-                             dispatch_latency_ns=100 * US)
-        fast = ClusterConfig(machine="CPC1A", n_servers=1,
-                             dispatch_latency_ns=0)
+        slow = ClusterConfig(machine="CPC1A", n_servers=1, dispatch_latency_ns=100 * US)
+        fast = ClusterConfig(machine="CPC1A", n_servers=1, dispatch_latency_ns=0)
         results = {}
         for label, cluster in (("slow", slow), ("fast", fast)):
             results[label] = run_fleet_experiment(
@@ -353,8 +352,7 @@ class TestFleetCells:
     def test_spec_expansion_order_and_duplicates(self):
         spec = FleetSpec(
             workloads=(WorkloadPoint("memcached", qps=10_000.0),),
-            clusters=(small_cluster("round-robin"),
-                      small_cluster("power-aware-pack")),
+            clusters=(small_cluster("round-robin"), small_cluster("power-aware-pack")),
             seeds=(1, 2),
             duration_ns=5 * MS,
         )
@@ -410,7 +408,9 @@ class TestFleetSweepIntegration:
         store = ResultStore(tmp_path / "fleet_store")
         with SweepSession(workers=1) as session:
             first = session.run(spec.cells(), store=store)
-            second = session.run(spec.cells(), store=ResultStore(tmp_path / "fleet_store"))
+            second = session.run(
+                spec.cells(), store=ResultStore(tmp_path / "fleet_store")
+            )
         assert first.cache_hits == 0
         assert second.cache_hits == len(spec)
         assert self.render_csv(first) == self.render_csv(second)

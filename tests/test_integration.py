@@ -19,8 +19,9 @@ from repro.workloads.mysql import MySqlWorkload
 
 
 def run(workload, config, duration=80 * MS, warmup=20 * MS, seed=5):
-    return run_experiment(workload, config, duration_ns=duration,
-                          warmup_ns=warmup, seed=seed)
+    return run_experiment(
+        workload, config, duration_ns=duration, warmup_ns=warmup, seed=seed
+    )
 
 
 class TestIdleServerPower:
@@ -92,8 +93,9 @@ class TestLoadedBehaviour:
         assert apc.requests_completed == base.requests_completed
 
     def test_socwatch_underestimates_opportunity(self):
-        result = run(MemcachedWorkload(40_000), cshallow(),
-                     duration=40 * MS, warmup=10 * MS)
+        result = run(
+            MemcachedWorkload(40_000), cshallow(), duration=40 * MS, warmup=10 * MS
+        )
         assert result.socwatch.socwatch_fraction <= result.all_idle_fraction
 
 
@@ -114,8 +116,9 @@ class TestCdeepBehaviour:
         assert deep.total_power_w < shallow.total_power_w
 
     def test_cdeep_reaches_pc6_under_light_load(self):
-        result = run(MemcachedWorkload(2_000), cdeep(),
-                     duration=60 * MS, warmup=20 * MS)
+        result = run(
+            MemcachedWorkload(2_000), cdeep(), duration=60 * MS, warmup=20 * MS
+        )
         assert result.pc6_entries > 0
         assert result.pc6_residency() > 0.0
 
@@ -125,18 +128,33 @@ class TestPaperCalibration:
     """The Fig. 6/8/9 operating points (longer windows)."""
 
     def test_memcached_all_idle_at_4k_is_77pct(self):
-        result = run(MemcachedWorkload(4_000), cshallow(),
-                     duration=300 * MS, warmup=50 * MS, seed=1)
+        result = run(
+            MemcachedWorkload(4_000),
+            cshallow(),
+            duration=300 * MS,
+            warmup=50 * MS,
+            seed=1,
+        )
         assert result.all_idle_fraction == pytest.approx(0.77, abs=0.05)
 
     def test_memcached_all_idle_at_50k_is_20pct(self):
-        result = run(MemcachedWorkload(50_000), cshallow(),
-                     duration=200 * MS, warmup=40 * MS, seed=1)
+        result = run(
+            MemcachedWorkload(50_000),
+            cshallow(),
+            duration=200 * MS,
+            warmup=40 * MS,
+            seed=1,
+        )
         assert result.all_idle_fraction == pytest.approx(0.20, abs=0.05)
 
     def test_memcached_all_idle_at_100k_at_least_12pct(self):
-        result = run(MemcachedWorkload(100_000), cshallow(),
-                     duration=150 * MS, warmup=30 * MS, seed=1)
+        result = run(
+            MemcachedWorkload(100_000),
+            cshallow(),
+            duration=150 * MS,
+            warmup=30 * MS,
+            seed=1,
+        )
         assert result.all_idle_fraction >= 0.10
 
     def test_memcached_savings_at_4k(self):
@@ -150,16 +168,26 @@ class TestPaperCalibration:
     def test_mysql_presets_hit_paper_operating_points(self):
         targets = {"low": (0.08, 0.37), "mid": (0.15, 0.25), "high": (0.42, 0.20)}
         for preset, (util, idle) in targets.items():
-            result = run(MySqlWorkload(preset), cshallow(),
-                         duration=300 * MS, warmup=50 * MS, seed=2)
+            result = run(
+                MySqlWorkload(preset),
+                cshallow(),
+                duration=300 * MS,
+                warmup=50 * MS,
+                seed=2,
+            )
             assert result.utilization == pytest.approx(util, abs=0.05), preset
             assert result.all_idle_fraction == pytest.approx(idle, abs=0.07), preset
 
     def test_kafka_presets_hit_paper_operating_points(self):
         targets = {"low": (0.08, 0.47), "high": (0.153, 0.13)}
         for preset, (util, idle) in targets.items():
-            result = run(KafkaWorkload(preset), cshallow(),
-                         duration=300 * MS, warmup=50 * MS, seed=2)
+            result = run(
+                KafkaWorkload(preset),
+                cshallow(),
+                duration=300 * MS,
+                warmup=50 * MS,
+                seed=2,
+            )
             assert result.utilization == pytest.approx(util, abs=0.04), preset
             assert result.all_idle_fraction == pytest.approx(idle, abs=0.07), preset
 

@@ -139,11 +139,11 @@ class TestInterruptWhileWaiting:
 class TestIntegralTimes:
     def test_schedule_rejects_fractional_delay(self, sim):
         with pytest.raises(SimulationError):
-            sim.schedule(2.7, lambda: None)
+            sim.schedule(2.7, lambda: None)  # repro-lint: ignore[RPR002]
 
     def test_schedule_at_rejects_fractional_time(self, sim):
         with pytest.raises(SimulationError):
-            sim.schedule_at(10.5, lambda: None)
+            sim.schedule_at(10.5, lambda: None)  # repro-lint: ignore[RPR002]
 
     def test_schedule_rejects_non_numeric(self, sim):
         with pytest.raises(SimulationError):
@@ -151,7 +151,7 @@ class TestIntegralTimes:
 
     def test_integral_float_is_accepted_and_coerced(self, sim):
         fired = []
-        event = sim.schedule(2.0, fired.append, True)
+        event = sim.schedule(2.0, fired.append, True)  # repro-lint: ignore[RPR002]
         assert event.time == 2 and type(event.time) is int
         sim.run()
         assert fired == [True]
@@ -164,13 +164,13 @@ class TestIntegralTimes:
 
     def test_delay_rejects_fractional(self):
         with pytest.raises(ValueError):
-            Delay(2.7)
+            Delay(2.7)  # repro-lint: ignore[RPR002]
 
     def test_timers_reject_fractional(self, sim):
         with pytest.raises(ValueError):
-            PeriodicTimer(sim, 10.5, lambda: None)
+            PeriodicTimer(sim, 10.5, lambda: None)  # repro-lint: ignore[RPR002]
         with pytest.raises(ValueError):
-            RestartableTimeout(sim, 3.25, lambda: None)
+            RestartableTimeout(sim, 3.25, lambda: None)  # repro-lint: ignore[RPR002]
 
     def test_run_until_rejects_fractional(self, sim):
         with pytest.raises(SimulationError):
@@ -193,9 +193,7 @@ class TestLazyCancellationAndCompaction:
     def test_survivors_fire_in_order_after_compaction(self, sim):
         total = 4 * COMPACTION_MIN_CANCELLED
         fired = []
-        events = [
-            sim.schedule(i + 1, fired.append, i) for i in range(total)
-        ]
+        events = [sim.schedule(i + 1, fired.append, i) for i in range(total)]
         keep = {i for i in range(0, total, 3)}
         for i, event in enumerate(events):
             if i not in keep:
@@ -272,7 +270,7 @@ class TestReschedule:
         event = sim.schedule(1, lambda: None)
         sim.run()
         with pytest.raises(SimulationError):
-            sim.reschedule(event, 1.5)
+            sim.reschedule(event, 1.5)  # repro-lint: ignore[RPR002]
 
     def test_process_delay_loop_reuses_events(self, sim):
         def proc():

@@ -66,8 +66,9 @@ class TestSamplerWarmupLeak:
     def test_repeated_resets_cancel_everything(self):
         sim = Simulator(seed=1)
         all_idle = Signal("AllIdle", value=True)
-        sampler = ActiveAfterIdleSampler(sim, all_idle, [FakeCore(0)],
-                                         horizon_ns=5 * US)
+        sampler = ActiveAfterIdleSampler(
+            sim, all_idle, [FakeCore(0)], horizon_ns=5 * US
+        )
         for t in (10, 11, 12):
             sim.schedule_at(t * US, all_idle.set, not (t % 2))
         sim.run(until_ns=13 * US)
@@ -101,10 +102,12 @@ class TestWindowInvariants:
     def test_idle_machine_window_independent_of_warmup_length(self, config_fn):
         """With no load the machine is in steady state, so every
         observable must be identical for any warmup length."""
-        short = run_experiment(NullWorkload(), config_fn(),
-                               duration_ns=15 * MS, warmup_ns=5 * MS, seed=1)
-        long = run_experiment(NullWorkload(), config_fn(),
-                              duration_ns=15 * MS, warmup_ns=40 * MS, seed=1)
+        short = run_experiment(
+            NullWorkload(), config_fn(), duration_ns=15 * MS, warmup_ns=5 * MS, seed=1
+        )
+        long = run_experiment(
+            NullWorkload(), config_fn(), duration_ns=15 * MS, warmup_ns=40 * MS, seed=1
+        )
         assert short == long
 
     def test_window_samples_match_window_exits_exactly(self):
@@ -135,9 +138,7 @@ class TestWindowInvariants:
         )
         window = 10 * MS
         machine.run_for(window)
-        expected = sum(
-            1 for t in window_falls if t + horizon <= warmup + window
-        )
+        expected = sum(1 for t in window_falls if t + horizon <= warmup + window)
         assert len(machine.active_sampler.samples) == expected
 
 
@@ -147,22 +148,40 @@ class TestPrebuiltMachineValidation:
 
     def test_matching_machine_is_accepted(self):
         machine = ServerMachine(cpc1a(), seed=9)
-        result = run_experiment(NullWorkload(), cpc1a(), duration_ns=4 * MS,
-                                warmup_ns=1 * MS, seed=9, machine=machine)
+        result = run_experiment(
+            NullWorkload(),
+            cpc1a(),
+            duration_ns=4 * MS,
+            warmup_ns=1 * MS,
+            seed=9,
+            machine=machine,
+        )
         assert result.seed == 9
         assert result.config_name == "CPC1A"
 
     def test_config_mismatch_raises(self):
         machine = ServerMachine(cpc1a(), seed=0)
         with pytest.raises(ValueError, match="config"):
-            run_experiment(NullWorkload(), cshallow(), duration_ns=4 * MS,
-                           warmup_ns=1 * MS, seed=0, machine=machine)
+            run_experiment(
+                NullWorkload(),
+                cshallow(),
+                duration_ns=4 * MS,
+                warmup_ns=1 * MS,
+                seed=0,
+                machine=machine,
+            )
 
     def test_seed_mismatch_raises(self):
         machine = ServerMachine(cpc1a(), seed=8)
         with pytest.raises(ValueError, match="seed"):
-            run_experiment(NullWorkload(), cpc1a(), duration_ns=4 * MS,
-                           warmup_ns=1 * MS, seed=0, machine=machine)
+            run_experiment(
+                NullWorkload(),
+                cpc1a(),
+                duration_ns=4 * MS,
+                warmup_ns=1 * MS,
+                seed=0,
+                machine=machine,
+            )
 
 
 class TestMeasureDurationGuard:

@@ -61,9 +61,7 @@ class TestSec54Deltas:
         assert DEFAULT_BUDGET.dram_diff_w() == pytest.approx(1.1, abs=0.05)
 
     def test_validate_catches_broken_ledger(self):
-        broken = dataclasses.replace(
-            DEFAULT_BUDGET, core=CorePowerSpec(cc1_w=3.0)
-        )
+        broken = dataclasses.replace(DEFAULT_BUDGET, core=CorePowerSpec(cc1_w=3.0))
         with pytest.raises(ValueError, match="ledger does not close"):
             broken.validate()
 

@@ -14,9 +14,7 @@ class TestRapl:
         meter.channel("pkg", "package", power_w=10.0)
         rapl = RaplInterface(meter)
         sim.run(until_ns=S)
-        assert rapl.read_energy_j(RaplDomain.PACKAGE) == pytest.approx(
-            10.0, abs=0.001
-        )
+        assert rapl.read_energy_j(RaplDomain.PACKAGE) == pytest.approx(10.0, abs=0.001)
 
     def test_domains_are_independent(self, sim, meter):
         meter.channel("pkg", "package", power_w=10.0)

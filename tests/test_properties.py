@@ -33,8 +33,9 @@ class TestSimulatorProperties:
         assert len(fired) == len(delays)
 
     @given(
-        delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
-                        max_size=40),
+        delays=st.lists(
+            st.integers(min_value=0, max_value=10**6), min_size=1, max_size=40
+        ),
         cut=st.integers(min_value=0, max_value=10**6),
     )
     def test_run_until_never_executes_future_events(self, delays, cut):
@@ -46,14 +47,11 @@ class TestSimulatorProperties:
         assert all(d <= cut for d in fired)
         assert sim.now == cut
 
-    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=30),
-           st.data())
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=30), st.data())
     def test_cancellation_subset_fires(self, delays, data):
         sim = Simulator()
         fired = []
-        events = [
-            sim.schedule(d, lambda d=d: fired.append(d)) for d in delays
-        ]
+        events = [sim.schedule(d, lambda d=d: fired.append(d)) for d in delays]
         to_cancel = data.draw(st.sets(
             st.integers(min_value=0, max_value=max(len(events) - 1, 0)),
             max_size=len(events),
@@ -125,8 +123,9 @@ class TestFivrProperties:
             assert slew <= fivr.slew_v_per_ns * 1.001
 
     @given(
-        targets=st.lists(st.floats(min_value=0.4, max_value=1.0), min_size=1,
-                         max_size=10)
+        targets=st.lists(
+            st.floats(min_value=0.4, max_value=1.0), min_size=1, max_size=10
+        )
     )
     @settings(deadline=None)
     def test_fivr_always_settles_at_last_target(self, targets):
@@ -157,9 +156,7 @@ class TestResidencyProperties:
             t += gap
             sim.schedule_at(t, counter.enter, state)
         sim.run(until_ns=t + 1000)
-        total = sum(
-            counter.residency_ns(s) for s in ("CC0", "CC1", "CC6")
-        )
+        total = sum(counter.residency_ns(s) for s in ("CC0", "CC1", "CC6"))
         assert total == counter.total_ns()
 
     @given(

@@ -22,11 +22,7 @@ from repro.scenarios.builtin import EXAMPLE_TRACE
 from repro.sim import Simulator
 from repro.sweep import ExperimentSpec, SweepSpec, WorkloadPoint
 from repro.units import MS, S, US
-from repro.workloads.arrivals import (
-    MMPPArrivals,
-    MmppArrivals,
-    TraceReplayArrivals,
-)
+from repro.workloads.arrivals import (MMPPArrivals, MmppArrivals, TraceReplayArrivals)
 from repro.workloads.base import NullWorkload
 from repro.workloads.nginx import NginxWorkload
 from repro.workloads.replay import TraceReplayWorkload, load_trace
@@ -417,9 +413,7 @@ class TestRpcFanoutWorkload:
         arrivals = {}
         for request in sink.requests:
             rpc, _, role = request.kind.partition("-")
-            arrivals.setdefault(rpc, {}).setdefault(role, []).append(
-                request.arrival_ns
-            )
+            arrivals.setdefault(rpc, {}).setdefault(role, []).append(request.arrival_ns)
         checked = 0
         for roles in arrivals.values():
             if "merge" in roles and "sub" in roles:

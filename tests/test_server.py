@@ -264,8 +264,9 @@ class TestExternalSimulator:
         sim = Simulator(seed)
         meter = PowerMeter(sim)
         machines = [
-            ServerMachine(cpc1a(), seed=seed, sim=sim, meter=meter,
-                          channel_prefix=f"s{i:02d}.")
+            ServerMachine(
+                cpc1a(), seed=seed, sim=sim, meter=meter, channel_prefix=f"s{i:02d}."
+            )
             for i in range(2)
         ]
         return sim, meter, machines
@@ -292,8 +293,8 @@ class TestExternalSimulator:
         from repro.sim.engine import Simulator
 
         with pytest.raises(ValueError, match="share one simulator"):
-            ServerMachine(cpc1a(), sim=Simulator(0),
-                          meter=PowerMeter(Simulator(0)))
+            # repro-lint: ignore[RPR005]
+            ServerMachine(cpc1a(), sim=Simulator(0), meter=PowerMeter(Simulator(0)))
 
     def test_checkpoint_stays_loud_on_external_sim(self):
         from repro.server.recycle import CheckpointError

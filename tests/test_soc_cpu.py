@@ -73,7 +73,9 @@ class TestCoreExecution:
         sim.run(until_ns=10 * US)
         order = []
         for tag in ("a", "b", "c"):
-            core.submit(Job(tag, 1 * US, on_complete=lambda j, t: order.append(j.payload)))
+            core.submit(
+                Job(tag, 1 * US, on_complete=lambda j, t: order.append(j.payload))
+            )
         sim.run()
         assert order == ["a", "b", "c"]
 
@@ -91,7 +93,9 @@ class TestCoreExecution:
         core, _ = make_core(sim)
         # CC1 entry starts at t=0 and takes 200 ns; submit at 100 ns.
         done = []
-        sim.schedule(100, core.submit, Job("r", 1 * US, on_complete=lambda j, t: done.append(t)))
+        sim.schedule(
+            100, core.submit, Job("r", 1 * US, on_complete=lambda j, t: done.append(t))
+        )
         sim.run()
         # Entry completes at 200, wake 2 us, service 1 us.
         assert done == [200 + CC1.exit_ns + 1 * US]
@@ -186,8 +190,14 @@ class TestMenuGovernor:
         governor = MenuGovernor(enabled_states=(CC1, CC6))
         core_a, _ = make_core(sim, governor)
         meter_b = PowerMeter(sim)
-        core_b = Core(sim, 1, CorePowerSpec(), governor,
-                      meter_b.channel("core1", "package"), StaticPc0Controller(sim))
+        core_b = Core(
+            sim,
+            1,
+            CorePowerSpec(),
+            governor,
+            meter_b.channel("core1", "package"),
+            StaticPc0Controller(sim),
+        )
         governor.observe_idle(core_a, 5 * US)
         assert governor.predict_ns(core_b) == governor.initial_prediction_ns
 

@@ -9,12 +9,7 @@ a component.
 
 import pytest
 from hypothesis import settings
-from hypothesis.stateful import (
-    RuleBasedStateMachine,
-    invariant,
-    precondition,
-    rule,
-)
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, precondition, rule)
 
 from repro.dram.controller import MemoryController
 from repro.dram.device import DramDevice
@@ -49,8 +44,9 @@ class LinkMachine(RuleBasedStateMachine):
         if self.link.state in ("L0", "L0s", "L0p", "L1"):
             self.link.transfer(256)
 
-    @precondition(lambda self: self.link.outstanding == 0
-                  and self.link.state in ("L0", "L0s"))
+    @precondition(
+        lambda self: self.link.outstanding == 0 and self.link.state in ("L0", "L0s")
+    )
     @rule()
     def command_l1(self):
         self.link.enter_l1()
@@ -112,8 +108,7 @@ class MemoryControllerMachine(RuleBasedStateMachine):
     def access(self):
         self.mc.access(4096)
 
-    @precondition(lambda self: self.mc.state == "active"
-                  and self.mc.outstanding == 0)
+    @precondition(lambda self: self.mc.state == "active" and self.mc.outstanding == 0)
     @rule()
     def self_refresh_cycle(self):
         self.mc.enter_self_refresh()

@@ -27,8 +27,7 @@ class TestApmuAdversarialTiming:
         # Force a fresh entry, then wake at a precise offset into it.
         apmu.gpmu_wakeup.set(True)
         drive(machine, 400)  # exit completes, re-entry begins
-        machine.sim.schedule(offset_ns, machine.cores[0].submit,
-                             Job("probe", 5 * US))
+        machine.sim.schedule(offset_ns, machine.cores[0].submit, Job("probe", 5 * US))
         drive(machine, 500 * US)
         # Whatever the interleaving: the job ran, the machine is sane.
         assert machine.cores[0].jobs_completed == 1
@@ -41,9 +40,7 @@ class TestApmuAdversarialTiming:
         machine = build_machine("CPC1A", seed=gap_ns)
         drive(machine, 50 * US)
         for i in range(20):
-            machine.sim.schedule(
-                i * gap_ns, machine.apmu.gpmu_wakeup.set, True
-            )
+            machine.sim.schedule(i * gap_ns, machine.apmu.gpmu_wakeup.set, True)
         drive(machine, 1 * MS)
         assert machine.apmu.phase == "pc1a"  # always recovers
         assert machine.apmu.exit_latency_max_ns <= 200
@@ -53,9 +50,7 @@ class TestApmuAdversarialTiming:
         drive(machine, 50 * US)
         now = machine.sim.now
         machine.sim.schedule_at(now + 10, machine.links[1].transfer, 128)
-        machine.sim.schedule_at(
-            now + 10, machine.cores[5].submit, Job("x", 5 * US)
-        )
+        machine.sim.schedule_at(now + 10, machine.cores[5].submit, Job("x", 5 * US))
         drive(machine, 500 * US)
         assert machine.cores[5].jobs_completed == 1
         assert machine.apmu.phase == "pc1a"
@@ -70,9 +65,7 @@ class TestApmuAdversarialTiming:
         base = machine.sim.now
         for i, offset in enumerate(offsets):
             core = machine.cores[i % len(machine.cores)]
-            machine.sim.schedule_at(
-                base + offset, core.submit, Job(f"j{i}", 3 * US)
-            )
+            machine.sim.schedule_at(base + offset, core.submit, Job(f"j{i}", 3 * US))
         drive(machine, 2 * MS)
         assert sum(c.jobs_completed for c in machine.cores) == len(offsets)
         assert machine.apmu.phase == "pc1a"  # everything drained
@@ -87,8 +80,9 @@ class TestGpmuAdversarialTiming:
         # Cores reach CC6 around ~650 us (menu first-idle); the PC6
         # entry flow then runs ~29 us. Inject a wake at a stage offset.
         drive(machine, 650 * US)
-        machine.sim.schedule(offset_us * US, machine.cores[0].submit,
-                             Job("probe", 5 * US))
+        machine.sim.schedule(
+            offset_us * US, machine.cores[0].submit, Job("probe", 5 * US)
+        )
         drive(machine, 3 * MS)
         assert machine.cores[0].jobs_completed == 1
         # The machine must come fully back up at some point.

@@ -127,9 +127,15 @@ class TestCellIdentity:
         # Rate 0 is the idle server whatever the workload is called,
         # and fields build_workload ignores must not split the cache.
         def cell(**kw):
-            base = dict(workload="memcached", qps=0.0, preset="low",
-                        config="CPC1A", seed=1,
-                        duration_ns=4 * MS, warmup_ns=1 * MS)
+            base = dict(
+                workload="memcached",
+                qps=0.0,
+                preset="low",
+                config="CPC1A",
+                seed=1,
+                duration_ns=4 * MS,
+                warmup_ns=1 * MS,
+            )
             return ExperimentSpec(**{**base, **kw})
 
         assert cell().key() == cell(workload="idle").key()
@@ -175,9 +181,7 @@ class TestResultStore:
         result = _synthetic_result(seed=1, power=30.0)
         round_tripped = result_from_dict(result_to_dict(result))
         assert round_tripped == result
-        assert all(
-            isinstance(k, int) for k in round_tripped.active_after_idle_dist
-        )
+        assert all(isinstance(k, int) for k in round_tripped.active_after_idle_dist)
 
 
 class TestRunner:
@@ -185,8 +189,9 @@ class TestRunner:
         spec = SweepSpec(
             workloads=(
                 WorkloadPoint("idle", duration_ns=3 * MS, warmup_ns=1 * MS),
-                WorkloadPoint("memcached", qps=30_000.0,
-                              duration_ns=3 * MS, warmup_ns=1 * MS),
+                WorkloadPoint(
+                    "memcached", qps=30_000.0, duration_ns=3 * MS, warmup_ns=1 * MS
+                ),
             ),
             configs=("CPC1A",),
             seeds=(1, 2),
@@ -305,9 +310,15 @@ class TestAggregation:
             _synthetic_result(seed=1, power=40.0),
         ]
         cells = [
-            ExperimentSpec(workload="mysql", qps=1_000.0, preset=preset,
-                           config="CPC1A", seed=1,
-                           duration_ns=10 * MS, warmup_ns=1 * MS)
+            ExperimentSpec(
+                workload="mysql",
+                qps=1_000.0,
+                preset=preset,
+                config="CPC1A",
+                seed=1,
+                duration_ns=10 * MS,
+                warmup_ns=1 * MS,
+            )
             for preset in ("low", "mid")
         ]
         aggregates = aggregate_over_seeds(results, cells=cells)
@@ -326,9 +337,15 @@ class TestAggregation:
             for s, p in ((1, 30.0), (2, 32.0), (3, 31.0))
         ]
         cells = [
-            ExperimentSpec(workload="memcached", qps=1_000.0, preset="low",
-                           config="CPC1A", seed=s,
-                           duration_ns=10 * MS, warmup_ns=1 * MS)
+            ExperimentSpec(
+                workload="memcached",
+                qps=1_000.0,
+                preset="low",
+                config="CPC1A",
+                seed=s,
+                duration_ns=10 * MS,
+                warmup_ns=1 * MS,
+            )
             for s in (1, 2, 3)
         ]
         (agg,) = aggregate_over_seeds(results, cells=cells)
@@ -345,9 +362,15 @@ class TestAggregation:
         ]
         object.__setattr__(results[1], "workload_name", "nginx")
         cells = [
-            ExperimentSpec(workload=name, qps=1_000.0, preset="low",
-                           config="CPC1A", seed=1,
-                           duration_ns=10 * MS, warmup_ns=1 * MS)
+            ExperimentSpec(
+                workload=name,
+                qps=1_000.0,
+                preset="low",
+                config="CPC1A",
+                seed=1,
+                duration_ns=10 * MS,
+                warmup_ns=1 * MS,
+            )
             for name in ("memcached", "nginx")
         ]
         aggregates = aggregate_over_seeds(results, cells=cells)
@@ -365,15 +388,23 @@ class TestAggregation:
         for result in results:
             object.__setattr__(result, "workload_name", "replay")
         cells = [
-            ExperimentSpec(workload="replay", qps=0.0, preset=trace,
-                           config="CPC1A", seed=1,
-                           duration_ns=10 * MS, warmup_ns=1 * MS)
+            ExperimentSpec(
+                workload="replay",
+                qps=0.0,
+                preset=trace,
+                config="CPC1A",
+                seed=1,
+                duration_ns=10 * MS,
+                warmup_ns=1 * MS,
+            )
             for trace in ("tests/data/example_trace.csv", "")
         ]
         aggregates = aggregate_over_seeds(results, cells=cells)
         assert len(aggregates) == 2
         assert [a.n_seeds for a in aggregates] == [1, 1]
-        assert aggregates[0]["total_power_w"].mean != aggregates[1]["total_power_w"].mean
+        assert (
+            aggregates[0]["total_power_w"].mean != aggregates[1]["total_power_w"].mean
+        )
 
 
 class TestMetricStats:

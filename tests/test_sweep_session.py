@@ -88,9 +88,7 @@ class TestSimulatorReset:
 
 class TestRecycleGolden:
     @pytest.mark.parametrize("config_name", ["Cshallow", "Cdeep", "CPC1A"])
-    def test_recycled_machine_is_byte_identical_across_scenarios(
-        self, config_name
-    ):
+    def test_recycled_machine_is_byte_identical_across_scenarios(self, config_name):
         """One machine recycled through *every* registered scenario
         must reproduce each fresh-build result exactly — including the
         kernel counters, the strictest available determinism pin."""

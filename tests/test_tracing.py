@@ -166,7 +166,10 @@ class TestActiveAfterIdleSampler:
         all_idle = Signal("all_idle", value=True)
         sampler = ActiveAfterIdleSampler(sim, all_idle, cores, horizon_ns=5)
         sampler.samples.extend([1, 1, 2])  # seed directly
-        assert sampler.distribution() == {1: pytest.approx(2 / 3), 2: pytest.approx(1 / 3)}
+        assert sampler.distribution() == {
+            1: pytest.approx(2 / 3),
+            2: pytest.approx(1 / 3),
+        }
 
     def test_empty_mean_defaults_to_one(self, sim):
         sampler = ActiveAfterIdleSampler(sim, Signal("x"), [])
