@@ -21,7 +21,7 @@ from repro.analysis.savings import savings_between
 from repro.core.latency import Pc1aLatencyModel
 from repro.dram.timings import DDR4_2666
 from repro.power.budgets import DEFAULT_BUDGET
-from repro.server.configs import MachineConfig
+from repro.props import apply_props
 from repro.units import US
 from repro.workloads.memcached import MemcachedWorkload
 
@@ -91,20 +91,8 @@ def bench_ablation_dispatch_policies(benchmark):
 
     def sweep():
         for policy in ("random", "round_robin", "least_loaded", "packed"):
-            config = MachineConfig(
-                name=f"CPC1A-{policy}",
-                enabled_cstates=("CC1",),
-                governor="shallow",
-                package_policy="pc1a",
-                dispatch_policy=policy,
-            )
-            base = MachineConfig(
-                name=f"Cshallow-{policy}",
-                enabled_cstates=("CC1",),
-                governor="shallow",
-                package_policy="none",
-                dispatch_policy=policy,
-            )
+            config = apply_props("CPC1A", {"dispatch_policy": policy})
+            base = apply_props("Cshallow", {"dispatch_policy": policy})
             workload = MemcachedWorkload(25_000)
             base_result = measure(workload, base, seed=4)
             apc_result = measure(workload, config, seed=4)

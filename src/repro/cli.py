@@ -9,6 +9,8 @@ Commands
 ``area``      the APC area-overhead breakdown (Sec. 5.1-5.3);
 ``export``    sweep a rate range and write the observables as CSV;
 ``sweep``     run a scenario x config x rate x seed grid in parallel;
+``fleet``     sweep multi-server clusters (routing x config x rate);
+``props``     inspect the platform-property registry (list/info);
 ``scenarios`` list the registered traffic scenarios;
 ``validate``  fast end-to-end check of the headline paper anchors;
 ``lint``      static determinism/checkpoint-safety analysis (RPR rules).
@@ -39,6 +41,17 @@ Scenarios
     python -m repro sweep --scenario nginx --configs Cshallow,CPC1A
     python -m repro sweep --scenario replay --trace traces/prod.csv
 
+Platform properties
+-------------------
+Every policy knob of the modelled platform is a registered property
+(``repro props list``); ``--set NAME=VALUE[,VALUE...]`` grids any of
+them as a first-class sweep axis::
+
+    python -m repro props list
+    python -m repro sweep --configs Cshallow \\
+        --set timer_tick_hz=0,100,250 --set cstates.cc1e.enable=on,off
+    python -m repro fleet --set fleet.n_servers=2,8 --set governor=menu
+
 ``--stats-json`` writes a machine-readable run summary (cells, cache
 hits/misses, rows) for CI assertions. ``--progress``/``--no-progress``
 controls the throttled per-cell progress lines on stderr (default:
@@ -62,6 +75,14 @@ from repro.analysis.report import PaperComparison, comparison_table, format_tabl
 from repro.analysis.savings import savings_between
 from repro.core.area import SkxAreaModel
 from repro.core.latency import Pc1aLatencyModel
+from repro.props import (
+    PropertyError,
+    all_props,
+    get_prop,
+    preset_names,
+    preset_props,
+    render_value,
+)
 from repro.server.configs import CONFIG_BUILDERS, config_by_name
 from repro.server.experiment import ExperimentResult, run_experiment
 from repro.sweep import (
@@ -344,6 +365,7 @@ def cmd_export(args: argparse.Namespace) -> int:
     """
     try:
         points = _rate_points(args)
+        combos = _parse_set_args(args.set_props)
         cells = [
             ExperimentSpec(
                 workload=point.workload,
@@ -353,8 +375,10 @@ def cmd_export(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 duration_ns=args.duration_ms * MS,
                 warmup_ns=args.warmup_ms * MS,
+                props=combo,
             )
             for config in _split_configs(args.configs)
+            for combo in combos
             for point in points
         ]
     except (KeyError, ValueError) as error:
@@ -444,6 +468,121 @@ def _parse_seeds(value: str) -> tuple[int, ...]:
     return seeds
 
 
+def _add_set_flag(parser: argparse.ArgumentParser, fleet: bool = False) -> None:
+    scope_note = (
+        "fleet-scoped names (fleet.*) configure the cluster"
+        if fleet
+        else "machine-scoped names only (see 'repro props list')"
+    )
+    parser.add_argument(
+        "--set", action="append", default=[], metavar="NAME=VALUE[,VALUE...]",
+        dest="set_props",
+        help="platform-property override; a comma list of values grids "
+             f"the axis (repeat --set for more properties; {scope_note})",
+    )
+
+
+def _parse_set_args(
+    set_args: list[str], fleet: bool = False
+) -> tuple[dict[str, object], ...]:
+    """``--set`` occurrences -> the cross product of override dicts.
+
+    Each occurrence is ``name=value`` or ``name=v1,v2,...`` (a grid
+    axis); occurrences cross-multiply, so ``--set timer_tick_hz=0,250
+    --set governor=shallow,menu`` yields four override sets. Values are
+    parsed and validated against the registry here, so a typo'd name
+    or out-of-range value dies with a pepc-style message before any
+    cell is built.
+    """
+    axes: list[tuple[str, list[object]]] = []
+    seen: set[str] = set()
+    for raw in set_args:
+        name, sep, blob = raw.partition("=")
+        name = name.strip()
+        if not sep or not name or not blob.strip():
+            raise SystemExit(
+                f"--set expects NAME=VALUE[,VALUE...], got {raw!r}"
+            )
+        if name in seen:
+            raise SystemExit(
+                f"--set {name} given twice; grid one property with a "
+                f"comma list instead (--set {name}=v1,v2)"
+            )
+        try:
+            prop = get_prop(name)
+            if prop.scope == "fleet" and not fleet:
+                raise SystemExit(
+                    f"--set {name} is fleet-scoped; it configures a "
+                    "cluster — use it with 'repro fleet'"
+                )
+            values = [prop.parse(v.strip()) for v in blob.split(",") if v.strip()]
+        except PropertyError as error:
+            raise SystemExit(f"invalid --set: {error}") from None
+        if not values:
+            raise SystemExit(f"--set {name} lists no values")
+        if len(set(map(repr, values))) != len(values):
+            raise SystemExit(f"--set {name} lists duplicate values: {blob}")
+        seen.add(name)
+        axes.append((name, values))
+    combos: list[dict[str, object]] = [{}]
+    for name, values in axes:
+        combos = [{**combo, name: value} for combo in combos for value in values]
+    return tuple(combos)
+
+
+def _split_scopes(
+    combo: dict[str, object],
+) -> tuple[dict[str, object], dict[str, object]]:
+    """One override set -> (machine-scoped, fleet-scoped) halves."""
+    machine = {k: v for k, v in combo.items() if get_prop(k).scope != "fleet"}
+    fleet = {k: v for k, v in combo.items() if get_prop(k).scope == "fleet"}
+    return machine, fleet
+
+
+def cmd_props(args: argparse.Namespace) -> int:
+    """Inspect the platform-property registry (list / info)."""
+    if args.action == "list":
+        rows = []
+        for prop in all_props():
+            rows.append([
+                prop.name,
+                prop.scope,
+                prop.ptype.__name__,
+                prop.allowed(),
+                render_value(prop.default),
+                prop.doc,
+            ])
+        print(format_table(
+            ["property", "scope", "type", "allowed", "default", "description"],
+            rows,
+        ))
+        print(f"\n{len(rows)} properties; sweep one with: "
+              "repro sweep --set <property>=<v1,v2,...>")
+        return 0
+    # info <name>
+    try:
+        prop = get_prop(args.name)
+    except PropertyError as error:
+        raise SystemExit(str(error)) from None
+    unit = f" {prop.unit}" if prop.unit else ""
+    rows = [
+        ["name", prop.name],
+        ["scope", prop.scope],
+        ["type", prop.ptype.__name__],
+        ["allowed", prop.allowed() + unit],
+        ["default", render_value(prop.default) + unit],
+        ["description", prop.doc],
+    ]
+    if prop.scope != "fleet":
+        for preset in preset_names():
+            rows.append([
+                f"value in {preset}",
+                render_value(preset_props(preset)[prop.name]) + unit,
+            ])
+    print(format_table(["field", "value"], rows))
+    return 0
+
+
 def _write_stats_json(
     args: argparse.Namespace, results, total: int, workers: int, rows: int
 ) -> None:
@@ -475,12 +614,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         points = _workload_points(args)
         seeds = _parse_seeds(args.seeds)
+        combos = _parse_set_args(args.set_props)
         spec = SweepSpec(
             workloads=points,
             configs=_split_configs(args.configs),
             seeds=seeds,
             duration_ns=args.duration_ms * MS if args.duration_ms else None,
             warmup_ns=args.warmup_ms * MS if args.warmup_ms is not None else None,
+            props=combos,
         )
     except (KeyError, ValueError, OSError) as error:
         # OSError: a trace scenario naming a missing/unreadable file.
@@ -554,17 +695,27 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         routings = tuple(r.strip() for r in args.routing.split(",") if r.strip())
         if not routings:
             raise SystemExit("--routing must list at least one policy")
-        clusters = tuple(
-            ClusterConfig(
-                machine=config,
-                n_servers=args.servers,
-                routing=routing,
-                dispatch_latency_ns=int(args.dispatch_latency_us * US),
-                pack_watermark=args.pack_watermark,
-            )
-            for config in _split_configs(args.configs)
-            for routing in routings
-        )
+        combos = _parse_set_args(args.set_props, fleet=True)
+        clusters = []
+        for config in _split_configs(args.configs):
+            for routing in routings:
+                for combo in combos:
+                    machine_over, fleet_over = _split_scopes(combo)
+                    clusters.append(ClusterConfig(
+                        machine=config,
+                        n_servers=int(fleet_over.get(
+                            "fleet.n_servers", args.servers)),
+                        routing=str(fleet_over.get("fleet.routing", routing)),
+                        dispatch_latency_ns=int(fleet_over.get(
+                            "fleet.dispatch_latency_ns",
+                            int(args.dispatch_latency_us * US))),
+                        pack_watermark=int(fleet_over.get(
+                            "fleet.pack_watermark", args.pack_watermark)),
+                        props=machine_over,
+                    ))
+        # --set fleet.routing overrides the --routing axis, which
+        # would otherwise repeat identical clusters once per policy.
+        clusters = tuple(dict.fromkeys(clusters))
         spec = FleetSpec(
             workloads=points,
             clusters=clusters,
@@ -749,6 +900,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     export_parser.add_argument(
         "--store", default=None, help="result-cache directory (optional)"
     )
+    _add_set_flag(export_parser)
     _add_progress_flag(export_parser)
     export_parser.set_defaults(fn=cmd_export)
 
@@ -805,6 +957,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--stats-json", default=None,
         help="write machine-readable run stats (cells, cache hits) here",
     )
+    _add_set_flag(sweep_parser)
     _add_progress_flag(sweep_parser)
     sweep_parser.set_defaults(fn=cmd_sweep)
 
@@ -877,8 +1030,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--stats-json", default=None,
         help="write machine-readable run stats (cells, cache hits) here",
     )
+    _add_set_flag(fleet_parser, fleet=True)
     _add_progress_flag(fleet_parser)
     fleet_parser.set_defaults(fn=cmd_fleet)
+
+    props_parser = sub.add_parser(
+        "props",
+        help="inspect the platform-property registry",
+        description="Typed, scoped platform properties (pepc-style): "
+                    "every policy knob of the modelled machine/fleet, "
+                    "sweepable with --set NAME=VALUE[,VALUE...] on "
+                    "sweep/export/fleet. See docs/properties.md.",
+    )
+    props_sub = props_parser.add_subparsers(dest="action", required=True)
+    props_list = props_sub.add_parser(
+        "list", help="table of every registered property"
+    )
+    props_list.set_defaults(fn=cmd_props)
+    props_info = props_sub.add_parser(
+        "info", help="one property in detail (incl. per-preset values)"
+    )
+    props_info.add_argument("name", help="property name (e.g. timer_tick_hz)")
+    props_info.set_defaults(fn=cmd_props)
 
     scenarios_parser = sub.add_parser(
         "scenarios", help="list the registered traffic scenarios"

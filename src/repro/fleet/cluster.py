@@ -18,10 +18,12 @@ from dataclasses import asdict, dataclass
 
 from repro.fleet.routing import ROUTING_POLICIES, LoadBalancer
 from repro.power.meter import PowerMeter
-from repro.server.configs import CONFIG_BUILDERS, MachineConfig, config_by_name
+from repro.props import apply_props, render_overrides
+from repro.server.configs import MachineConfig, config_by_name
 from repro.server.machine import ServerMachine
 from repro.server.stats import MachineStats
 from repro.sim.engine import Simulator
+from repro.sweep.spec import PropPairs, merge_props, normalize_props
 from repro.units import US
 from repro.workloads.base import Request
 
@@ -48,14 +50,30 @@ class ClusterConfig:
     #: Concurrent requests a server absorbs before ``power-aware-pack``
     #: spills to the next one (0 = one slot per core).
     pack_watermark: int = 0
+    #: Platform-property overrides applied to *every* server (the
+    #: canonical pairs :func:`~repro.sweep.spec.normalize_props`
+    #: produces; accepts mappings too).
+    props: PropPairs = ()
+    #: Per-server overrides for heterogeneous fleets: one entry per
+    #: server (merged over — and winning against — ``props``). Empty
+    #: means a homogeneous fleet.
+    server_props: tuple[PropPairs, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.machine not in CONFIG_BUILDERS:
-            raise KeyError(
-                f"unknown config {self.machine!r}; have {sorted(CONFIG_BUILDERS)}"
-            )
+        config_by_name(self.machine)  # friendly unknown-config error
+        object.__setattr__(self, "props", normalize_props(self.props))
+        object.__setattr__(
+            self,
+            "server_props",
+            tuple(normalize_props(p) for p in self.server_props),
+        )
         if self.n_servers < 1:
             raise ValueError(f"a fleet needs at least one server, got {self.n_servers}")
+        if self.server_props and len(self.server_props) != self.n_servers:
+            raise ValueError(
+                f"server_props must carry one entry per server: got "
+                f"{len(self.server_props)} for {self.n_servers} servers"
+            )
         if self.routing not in ROUTING_POLICIES:
             raise ValueError(
                 f"unknown routing policy {self.routing!r}; have {ROUTING_POLICIES}"
@@ -69,25 +87,47 @@ class ClusterConfig:
                 f"pack watermark cannot be negative: {self.pack_watermark} "
                 "(0 = one slot per core)"
             )
+        # Hybrid configs only fail when built (cross-field constraints
+        # like "CPC1A forbids CC6") — fail at construction, not inside
+        # a worker pool.
+        for index in range(self.n_servers):
+            self.build_machine_config(index)
 
-    def build_machine_config(self) -> MachineConfig:
-        """Instantiate the per-server machine configuration."""
-        return config_by_name(self.machine)
+    def props_for_server(self, index: int) -> PropPairs:
+        """The merged override pairs applied to server ``index``."""
+        if not self.server_props:
+            return self.props
+        return merge_props(self.props, self.server_props[index])
+
+    def build_machine_config(self, index: int = 0) -> MachineConfig:
+        """Instantiate the machine configuration of server ``index``."""
+        return apply_props(self.machine, dict(self.props_for_server(index)))
+
+    def is_heterogeneous(self) -> bool:
+        """Whether servers differ in their resolved configuration."""
+        return len({self.props_for_server(i)
+                    for i in range(self.n_servers)}) > 1
 
     def resolved_pack_watermark(self) -> int:
         """The watermark ``power-aware-pack`` actually applies.
 
         0 means "one concurrency slot per core"; resolving it against
         the machine config lets cache keys treat the default spelling
-        and its explicit value as the same physical experiment.
+        and its explicit value as the same physical experiment. For
+        heterogeneous fleets the server-0 config anchors the default
+        (one watermark governs the balancer, whatever the mix).
         """
         if self.pack_watermark > 0:
             return self.pack_watermark
-        return self.build_machine_config().soc.n_cores
+        return self.build_machine_config(0).soc.n_cores
 
     def label(self) -> str:
         """Short human label (``CPC1Ax16/power-aware-pack``)."""
-        return f"{self.machine}x{self.n_servers}/{self.routing}"
+        base = self.machine
+        if self.props:
+            base = f"{base}+{render_overrides(dict(self.props))}"
+        suffix = "/mixed" if self.server_props else ""
+        return f"{base}x{self.n_servers}/{self.routing}{suffix}"
 
     def as_dict(self) -> dict:
         """Plain-data form (JSON- and cache-key-friendly)."""
@@ -95,7 +135,12 @@ class ClusterConfig:
 
 
 class FleetMachine:
-    """A cluster: N identical servers behind one load balancer.
+    """A cluster: N servers behind one load balancer.
+
+    Servers are identical unless the cluster carries per-server
+    property overrides (``ClusterConfig.server_props``), which build a
+    heterogeneous mix — e.g. half the fleet on ``CPC1A``, half on
+    ``Cshallow`` with a legacy 250 Hz tick.
 
     All machines run on one shared simulator, so cross-server event
     ordering is globally deterministic for a fixed seed — the fleet
@@ -106,10 +151,11 @@ class FleetMachine:
         self.cluster = cluster
         self.sim = Simulator(seed)
         self.meter = PowerMeter(self.sim)
-        config = cluster.build_machine_config()
+        # Per-server configs: identical objects for homogeneous fleets,
+        # per-index property hybrids for heterogeneous ones.
         self.machines = [
             ServerMachine(
-                config,
+                cluster.build_machine_config(index),
                 seed=seed,
                 sim=self.sim,
                 meter=self.meter,

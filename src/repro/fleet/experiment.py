@@ -89,8 +89,13 @@ def collect_fleet_result(
     ]
     network_latency_ns = fleet.machines[0].config.network_latency_ns
     completed = sum(server.requests_completed for server in servers)
+    # The canonical built name, not the spelled base: a Cshallow
+    # cluster overridden to pc1a reports (and aggregates) as CPC1A.
+    config_name = fleet.machines[0].config.name
+    if cluster.is_heterogeneous():
+        config_name += "/mixed"
     return FleetResult(
-        config_name=cluster.machine,
+        config_name=config_name,
         n_servers=cluster.n_servers,
         routing=cluster.routing,
         dispatch_latency_ns=cluster.dispatch_latency_ns,

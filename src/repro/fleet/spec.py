@@ -20,9 +20,11 @@ from dataclasses import asdict, dataclass
 from repro.fleet.cluster import ClusterConfig
 from repro.fleet.result import FleetResult
 from repro.sweep.spec import (
+    PropPairs,
     WorkloadPoint,
     _normalize_scenario,
     canonical_point,
+    normalize_props,
     resolve_window,
 )
 from repro.units import US
@@ -31,7 +33,11 @@ from repro.workloads.base import Workload
 #: Bump when the fleet cell schema or measurement semantics change;
 #: independent of the single-machine SCHEMA_VERSION because the two
 #: record kinds can never alias anyway (the key payloads differ).
-FLEET_SCHEMA_VERSION = 1
+#: v2: cells key each server by its resolved platform property set
+#: instead of only the shared config name, so property hybrids and
+#: heterogeneous fleets cache correctly (and a preset vs its explicit
+#: property spelling share one entry).
+FLEET_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -50,12 +56,24 @@ class FleetCell:
     dispatch_latency_ns: int = 2 * US
     pack_watermark: int = 0
     scenario: str = ""
+    #: Platform-property overrides applied to every server.
+    props: PropPairs = ()
+    #: Per-server overrides (heterogeneous fleets); one entry per
+    #: server, each merged over ``props``.
+    server_props: tuple[PropPairs, ...] = ()
 
     def __post_init__(self) -> None:
         workload, scenario = _normalize_scenario(self.workload, self.scenario)
         object.__setattr__(self, "workload", workload)
         object.__setattr__(self, "scenario", scenario)
-        # Validates machine/n_servers/routing/dispatch latency.
+        object.__setattr__(self, "props", normalize_props(self.props))
+        object.__setattr__(
+            self,
+            "server_props",
+            tuple(normalize_props(p) for p in self.server_props),
+        )
+        # Validates machine/n_servers/routing/dispatch latency and
+        # builds every per-server hybrid config once.
         self.cluster()
         if self.duration_ns <= 0:
             raise ValueError(f"duration must be positive, got {self.duration_ns}")
@@ -72,6 +90,8 @@ class FleetCell:
             routing=self.routing,
             dispatch_latency_ns=self.dispatch_latency_ns,
             pack_watermark=self.pack_watermark,
+            props=self.props,
+            server_props=self.server_props,
         )
 
     def build_workload(self) -> Workload:
@@ -122,15 +142,31 @@ class FleetCell:
         cells (rate 0 == idle, trace contents, preset relevance) and
         folds the whole cluster shape in, so two routings of one load
         are distinct cells while alias spellings of one physical fleet
-        experiment share an entry.
+        experiment share an entry. The servers enter the hash as their
+        *resolved platform property sets* (schema v2): a homogeneous
+        fleet contributes one set, a heterogeneous one a per-server
+        list, and ``machine="CPC1A"`` keys identically to
+        ``machine="Cshallow", props=(("package_policy", "pc1a"),)``.
         """
         cached = getattr(self, "_key", None)
         if cached is not None:
             return cached
+        cluster = self.cluster()
+        server_sets = [
+            cluster.build_machine_config(index).props().as_dict()
+            for index in range(self.n_servers)
+        ]
+        if all(s == server_sets[0] for s in server_sets[1:]):
+            # Homogeneous: one set + the count, so key size does not
+            # scale with fleet size (and a 1-entry server_props
+            # spelling of a homogeneous fleet cannot fork the key).
+            servers: object = {"all": server_sets[0]}
+        else:
+            servers = {"each": server_sets}
         payload = {
             "fleet_schema": FLEET_SCHEMA_VERSION,
             **canonical_point(self.scenario, self.qps, self.preset),
-            "machine": self.machine,
+            "servers": servers,
             "n_servers": self.n_servers,
             "routing": self.routing,
             "dispatch_latency_ns": self.dispatch_latency_ns,
@@ -157,10 +193,7 @@ class FleetCell:
         point = WorkloadPoint(
             self.workload, self.qps, self.preset, scenario=self.scenario
         )
-        return (
-            f"{self.machine}x{self.n_servers}/{self.routing}/"
-            f"{point.label()}/seed{self.seed}"
-        )
+        return f"{self.cluster().label()}/{point.label()}/seed{self.seed}"
 
 
 @dataclass(frozen=True)
@@ -235,6 +268,8 @@ class FleetSpec:
                             dispatch_latency_ns=cluster.dispatch_latency_ns,
                             pack_watermark=cluster.pack_watermark,
                             scenario=point.scenario,
+                            props=cluster.props,
+                            server_props=cluster.server_props,
                         ))
             object.__setattr__(self, "_expanded", cached)
         return list(cached)

@@ -1,4 +1,4 @@
-"""The built-in rules (``RPR001``..``RPR005``).
+"""The built-in rules (``RPR001``..``RPR006``).
 
 Each rule enforces one of the repo's simulation invariants; the
 docstrings here are the catalog ``repro lint --explain`` and
@@ -504,4 +504,84 @@ def check_channel_prefix(ctx: FileContext) -> Iterator[Finding]:
                 "channel_prefix; per-machine prefixes (e.g. "
                 "fleet.cluster.server_prefix(i)) keep channel names "
                 "from colliding on the shared PowerMeter",
+            )
+
+
+# -- RPR006 ----------------------------------------------------------------
+
+#: MachineConfig policy fields that are registered platform
+#: properties; spelling them as raw constructor kwargs bypasses the
+#: registry's parsing/validation and the canonical preset naming.
+_PROP_BACKED_KWARGS = frozenset({
+    "enabled_cstates",
+    "governor",
+    "package_policy",
+    "timer_tick_hz",
+    "tick_mode",
+    "dispatch_policy",
+    "network_latency_ns",
+    "soc",
+})
+
+#: Paths allowed to assemble MachineConfig kwargs directly: the
+#: property layer itself (the one place field mappings live) and the
+#: preset builders in server/configs.py.
+_PROPS_LAYER_PARTS = ("repro", "props")
+
+
+def _in_props_layer(ctx: FileContext) -> bool:
+    parts = ctx.path.parts
+    for index in range(len(parts) - 1):
+        if parts[index:index + 2] == _PROPS_LAYER_PARTS:
+            return True
+    return ctx.path.name == "configs.py" and "server" in parts
+
+
+@register_rule(
+    "RPR006",
+    name="raw-machine-config-policy",
+    summary="MachineConfig built with raw policy kwargs outside the props layer",
+    domains=("sim", "tools"),
+)
+def check_raw_machine_config(ctx: FileContext) -> Iterator[Finding]:
+    """Route configuration hybrids through the property registry.
+
+    Every policy knob of :class:`MachineConfig` (C-state enables, the
+    governor, package policy, tick rate/mode, dispatch policy, network
+    latency, the SoC) is a registered platform property
+    (:mod:`repro.props`). Constructing ``MachineConfig(...)`` with
+    those fields as raw keywords bypasses the registry: no value
+    parsing, no pepc-style errors, no canonical preset naming — and
+    the resulting config can silently disagree with the property set
+    sweep cache keys hash. Build variants with
+    ``repro.props.apply_props(base, {...})`` (or a ``--set`` axis)
+    instead.
+
+    The property layer itself (``repro/props/``) and the preset
+    builders (``server/configs.py``) are exempt by path — they are the
+    two places the field mapping is allowed to live. Tests and
+    benchmarks are outside the rule's domains.
+    """
+    if _in_props_layer(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if callee != "MachineConfig":
+            continue
+        raw = sorted(
+            kw.arg for kw in node.keywords
+            if kw.arg is not None and kw.arg in _PROP_BACKED_KWARGS
+        )
+        if raw:
+            yield ctx.finding(
+                "RPR006", node,
+                f"MachineConfig built with raw policy kwarg(s) "
+                f"{', '.join(raw)}; go through the property registry "
+                "(repro.props.apply_props / --set) so values are "
+                "validated and names stay canonical",
             )

@@ -1,0 +1,244 @@
+"""The built-in platform properties.
+
+One :class:`~repro.props.registry.PropDef` per policy knob of the
+modelled platform, grouped by scope:
+
+* ``cpu`` — per-core C-state enables and the idle governor (the
+  knobs a real ``pepc cstates`` manages), plus the pinned core clock;
+* ``package`` — the package idle-state controller and core count;
+* ``machine`` — OS/platform behaviour: timer tick, dispatch policy,
+  network latency;
+* ``fleet`` — cluster-level knobs consumed by
+  :class:`~repro.fleet.cluster.ClusterConfig` (listed here so one
+  ``repro props list`` table covers every sweepable axis; the fleet
+  layer applies them).
+
+The ``get``/``set`` accessors operate on a
+:class:`~repro.server.configs.MachineConfig` constructor-kwargs dict,
+so the property layer is the only code that needs to know how a
+property maps onto config fields (everything else goes through
+:func:`repro.props.pset.apply_props`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.props.registry import register_prop
+from repro.server.dispatch import POLICIES as DISPATCH_POLICIES
+from repro.soc.cstates import ALL_CSTATES
+from repro.soc.governors import GOVERNOR_NAMES
+
+# -- cpu scope: core C-state enables -----------------------------------------
+
+#: BIOS-controllable core C-states (CC0, the running state, is
+#: implicit and cannot be disabled).
+CONTROLLABLE_CSTATES = tuple(s.name for s in ALL_CSTATES if s.name != "CC0")
+
+
+def _with_cstate(enabled: tuple[str, ...], cstate: str, on: bool) -> tuple[str, ...]:
+    """``enabled_cstates`` with ``cstate`` switched on/off, in the
+    canonical (hardware) ordering whatever order the enables apply in."""
+    want = set(enabled) | {cstate} if on else set(enabled) - {cstate}
+    return tuple(s for s in CONTROLLABLE_CSTATES if s in want)
+
+
+def _register_cstate_prop(cstate: str, default: bool, doc: str) -> None:
+    @register_prop(
+        f"cstates.{cstate.lower()}.enable",
+        ptype=bool,
+        scope="cpu",
+        default=default,
+        doc=doc,
+    )
+    class _Accessors:  # noqa: N801 - decorator consumes the namespace
+        @staticmethod
+        def get(fields: dict) -> bool:
+            return cstate in fields["enabled_cstates"]
+
+        @staticmethod
+        def set(fields: dict, value: bool) -> None:
+            fields["enabled_cstates"] = _with_cstate(
+                fields["enabled_cstates"], cstate, value
+            )
+
+
+_register_cstate_prop(
+    "CC1", True, "core clock-gate state CC1 enabled (nanosecond exit)"
+)
+_register_cstate_prop(
+    "CC1E", False, "CC1 + voltage drop to Vmin (microsecond exit)"
+)
+_register_cstate_prop(
+    "CC6", False, "core power-gate state CC6 enabled (10s-of-us exit)"
+)
+
+register_prop(
+    "governor",
+    ptype=str,
+    scope="cpu",
+    default="shallow",
+    choices=GOVERNOR_NAMES,
+    field="governor",
+    doc="idle governor: fixed-shallow or Linux-menu-style prediction",
+)
+
+
+@register_prop(
+    "soc.core_freq_ghz",
+    ptype=float,
+    scope="cpu",
+    default=2.2,
+    minval=0.4,
+    maxval=6.0,
+    unit="GHz",
+    doc="pinned core clock (the paper pins P-states; Sec. 6)",
+)
+class _CoreFreq:
+    @staticmethod
+    def get(fields: dict) -> float:
+        return fields["soc"].core_freq_ghz
+
+    @staticmethod
+    def set(fields: dict, value: float) -> None:
+        fields["soc"] = replace(fields["soc"], core_freq_ghz=value)
+
+
+# -- package scope -----------------------------------------------------------
+
+register_prop(
+    "package_policy",
+    ptype=str,
+    scope="package",
+    default="none",
+    choices=("none", "pc6", "pc1a"),
+    field="package_policy",
+    doc="package idle controller: stuck in PC0, GPMU PC6, or APC PC1A",
+)
+
+
+@register_prop(
+    "soc.n_cores",
+    ptype=int,
+    scope="package",
+    default=10,
+    minval=1,
+    maxval=256,
+    doc="physical cores on the SoC (paper platform: 10)",
+)
+class _NCores:
+    @staticmethod
+    def get(fields: dict) -> int:
+        return fields["soc"].n_cores
+
+    @staticmethod
+    def set(fields: dict, value: int) -> None:
+        fields["soc"] = replace(fields["soc"], n_cores=value)
+
+
+# -- machine scope -----------------------------------------------------------
+
+register_prop(
+    "timer_tick_hz",
+    ptype=int,
+    scope="machine",
+    default=0,
+    minval=0,
+    maxval=10_000,
+    unit="Hz",
+    field="timer_tick_hz",
+    doc="OS scheduler tick rate (0 = fully tickless, NOHZ_FULL)",
+)
+
+register_prop(
+    "tick_mode",
+    ptype=str,
+    scope="machine",
+    default="periodic",
+    choices=("periodic", "nohz_idle"),
+    field="tick_mode",
+    doc="tick every core, or suppress ticks on idle cores (NOHZ_IDLE)",
+)
+
+register_prop(
+    "dispatch_policy",
+    ptype=str,
+    scope="machine",
+    default="random",
+    choices=DISPATCH_POLICIES,
+    field="dispatch_policy",
+    doc="request-to-core dispatch (random models NIC RSS hashing)",
+)
+
+register_prop(
+    "network_latency_ns",
+    ptype=int,
+    scope="machine",
+    default=117_000,
+    minval=0,
+    maxval=10_000_000,
+    unit="ns",
+    field="network_latency_ns",
+    doc="one-way client<->server network + client stack time (Sec. 7.3)",
+)
+
+# -- fleet scope -------------------------------------------------------------
+# Applied by ClusterConfig/`repro fleet`, not by apply_props; the
+# choices for fleet.routing mirror repro.fleet.routing.ROUTING_POLICIES
+# (pinned by test — importing the fleet package here would cycle back
+# through server.machine into this module).
+
+register_prop(
+    "fleet.n_servers",
+    ptype=int,
+    scope="fleet",
+    default=2,
+    minval=1,
+    maxval=4096,
+    doc="servers in the cluster (one shared kernel and power meter)",
+)
+
+register_prop(
+    "fleet.routing",
+    ptype=str,
+    scope="fleet",
+    default="round-robin",
+    choices=(
+        "round-robin",
+        "least-outstanding",
+        "power-aware-pack",
+        "power-aware-spread",
+    ),
+    doc="load-balancer policy routing the fleet's arrival stream",
+)
+
+register_prop(
+    "fleet.dispatch_latency_ns",
+    ptype=int,
+    scope="fleet",
+    default=2_000,
+    minval=0,
+    maxval=1_000_000,
+    unit="ns",
+    doc="balancer decision + ToR hop added to every routed request",
+)
+
+register_prop(
+    "fleet.pack_watermark",
+    ptype=int,
+    scope="fleet",
+    default=0,
+    minval=0,
+    maxval=100_000,
+    doc="requests a server absorbs before pack spills (0 = one per core)",
+)
+
+
+def fleet_prop_value(name: str, overrides: dict[str, Any]) -> Any:
+    """Resolve one fleet-scoped property from override pairs."""
+    from repro.props.registry import get_prop
+
+    if name in overrides:
+        return overrides[name]
+    return get_prop(name).default

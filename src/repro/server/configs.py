@@ -1,4 +1,4 @@
-"""The paper's machine configurations (Sec. 6).
+"""The paper's machine configurations (Sec. 6) as property presets.
 
 * ``Cshallow`` — the real-world datacenter setup: CC1E/CC6 disabled,
   all package C-states disabled, performance governor. Best latency,
@@ -11,19 +11,52 @@
 
 P-states (DVFS) are pinned in all three configurations, as in the
 paper, so frequency never confounds the comparison.
+
+These three are no longer the whole configuration space: every policy
+field of :class:`MachineConfig` is a registered platform property
+(:mod:`repro.props`), each preset is just a named
+:class:`~repro.props.pset.PropertySet`, and
+:func:`repro.props.apply_props` builds any hybrid — ``Cshallow`` +
+``timer_tick_hz=250`` + ``cstates.cc1e.enable=on`` — with the same
+validation the presets get. A :class:`MachineConfig` is the *view*
+the machine builder consumes; the property set is the identity that
+sweep cache keys hash (see ``docs/properties.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.props import PropertyError, get_prop, suggest_names
 from repro.soc.config import SKX_CONFIG, SocConfig
 from repro.units import US
 
 
+class UnknownConfigError(KeyError):
+    """An unknown config/preset name, with a did-you-mean hint.
+
+    A ``KeyError`` subclass so historical ``except KeyError`` call
+    sites keep working, but ``str()`` renders the friendly message
+    (bare KeyError renders its repr — a quoted traceback puzzle).
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
 @dataclass(frozen=True)
 class MachineConfig:
-    """Everything needed to build a :class:`ServerMachine`."""
+    """Everything needed to build a :class:`ServerMachine`.
+
+    Policy fields are views over registered platform properties —
+    validation delegates to the registry's ranges, and
+    :meth:`props` / :meth:`from_props` convert to and from the
+    canonical :class:`~repro.props.pset.PropertySet` form.
+    """
 
     name: str
     #: Core C-states the BIOS leaves enabled (CC0 is implicit).
@@ -47,14 +80,51 @@ class MachineConfig:
     tick_mode: str = "periodic"
 
     def __post_init__(self) -> None:
-        if self.package_policy not in ("none", "pc6", "pc1a"):
-            raise ValueError(f"unknown package policy {self.package_policy!r}")
+        # Enum-like and ranged fields validate against the property
+        # registry — one source of truth for presets, --set overrides
+        # and raw constructions alike.
+        for prop_name, value in (
+            ("package_policy", self.package_policy),
+            ("governor", self.governor),
+            ("tick_mode", self.tick_mode),
+            ("dispatch_policy", self.dispatch_policy),
+            ("timer_tick_hz", self.timer_tick_hz),
+            ("network_latency_ns", self.network_latency_ns),
+        ):
+            try:
+                get_prop(prop_name).validate(value)
+            except PropertyError as error:
+                raise ValueError(str(error)) from None
+        for cstate in self.enabled_cstates:
+            if cstate not in _controllable_cstates():
+                raise ValueError(
+                    f"unknown core C-state {cstate!r}; "
+                    f"have {_controllable_cstates()}"
+                )
         if not self.enabled_cstates:
             raise ValueError("at least one core C-state must be enabled")
         if self.package_policy == "pc1a" and "CC6" in self.enabled_cstates:
             # The paper's premise: PC1A exists precisely because CC6
             # stays disabled in latency-critical deployments.
             raise ValueError("CPC1A assumes deep core C-states stay disabled")
+
+    # -- property-set views ------------------------------------------------
+    def props(self):
+        """The canonical property set behind this config."""
+        from repro.props import PropertySet
+
+        return PropertySet.from_config(self)
+
+    @classmethod
+    def from_props(cls, props, name: str, soc: SocConfig | None = None):
+        """Build a config as a view over ``props`` (a PropertySet)."""
+        return props.to_config(name, soc=soc)
+
+
+def _controllable_cstates() -> tuple[str, ...]:
+    from repro.props.builtin import CONTROLLABLE_CSTATES
+
+    return CONTROLLABLE_CSTATES
 
 
 def cshallow() -> MachineConfig:
@@ -91,7 +161,15 @@ CONFIG_BUILDERS = {"Cshallow": cshallow, "Cdeep": cdeep, "CPC1A": cpc1a}
 
 
 def config_by_name(name: str) -> MachineConfig:
-    """Build one of the three paper configurations by name."""
+    """Build a named configuration (one of the property presets).
+
+    Unknown names raise :class:`UnknownConfigError` with a
+    case-insensitive did-you-mean hint instead of a bare traceback.
+    """
     if name not in CONFIG_BUILDERS:
-        raise KeyError(f"unknown config {name!r}; have {sorted(CONFIG_BUILDERS)}")
+        hint = suggest_names(name, CONFIG_BUILDERS)
+        raise UnknownConfigError(
+            f"unknown config {name!r}{hint}; "
+            f"known configs: {', '.join(sorted(CONFIG_BUILDERS))}"
+        )
     return CONFIG_BUILDERS[name]()

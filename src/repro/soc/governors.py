@@ -20,6 +20,11 @@ from collections import deque
 from repro.soc.cstates import CC1, CC1E, CC6, CoreCState
 
 
+#: The governor names :func:`governor_for` accepts (the property
+#: registry's ``governor`` choices mirror this tuple).
+GOVERNOR_NAMES = ("shallow", "menu")
+
+
 class GovernorError(RuntimeError):
     """Raised on invalid governor configuration."""
 
@@ -96,9 +101,9 @@ class MenuGovernor(IdleGovernor):
 
 
 def governor_for(name: str, enabled_states: tuple[CoreCState, ...]) -> IdleGovernor:
-    """Factory used by machine configs (``"shallow"`` or ``"menu"``)."""
+    """Factory used by machine configs (see :data:`GOVERNOR_NAMES`)."""
     if name == "shallow":
         return ShallowGovernor(enabled_states)
     if name == "menu":
         return MenuGovernor(enabled_states)
-    raise GovernorError(f"unknown governor {name!r}")
+    raise GovernorError(f"unknown governor {name!r}; have {GOVERNOR_NAMES}")

@@ -12,7 +12,9 @@ this package turns "one figure" into data:
 >>> results = run_sweep(spec, workers=1)  # doctest: +SKIP
 
 - :class:`SweepSpec` expands deterministically into
-  :class:`ExperimentSpec` cells (plain, picklable data);
+  :class:`ExperimentSpec` cells (plain, picklable data); a ``props``
+  axis grids platform-property overrides (``repro props list``) on
+  top of the named configs;
 - :class:`SweepRunner` fans cells out over a multiprocessing pool —
   each worker owns (and recycles) its machines, so parallel == serial
   bit-for-bit;
@@ -40,11 +42,17 @@ from repro.sweep.runner import (
 from repro.sweep.session import (SweepCellError, SweepSession, recycling_enabled)
 from repro.sweep.spec import (
     ExperimentSpec,
+    PropPairs,
+    PropValue,
     SweepSpec,
     WorkloadPoint,
+    config_axis_label,
     duration_for_rate,
     memcached_points,
+    merge_props,
+    normalize_props,
     preset_points,
+    resolved_machine_props,
     warmup_for_duration,
 )
 from repro.sweep.store import (
@@ -65,6 +73,8 @@ __all__ = [
     "ExperimentSpec",
     "MemoryStore",
     "MetricStats",
+    "PropPairs",
+    "PropValue",
     "ResultStore",
     "StreamingCsvWriter",
     "SweepCellError",
@@ -74,12 +84,16 @@ __all__ = [
     "SweepSpec",
     "WorkloadPoint",
     "aggregate_over_seeds",
+    "config_axis_label",
     "default_workers",
     "duration_for_rate",
     "flatten_result",
     "memcached_points",
+    "merge_props",
+    "normalize_props",
     "preset_points",
     "recycling_enabled",
+    "resolved_machine_props",
     "result_from_dict",
     "result_to_dict",
     "run_cell",

@@ -63,11 +63,14 @@ def recycling_enabled() -> bool:
 
 
 # -- per-process worker state -------------------------------------------------
-#: One warm machine per config name (``None`` marks a config whose
-#: state cannot be checkpointed: build fresh every time). Lives at
-#: module level so both pool workers and the in-process serial path
-#: amortize machine construction the same way.
-_MACHINES: dict[str, ServerMachine | None] = {}
+#: One warm machine per (config name, property overrides) pair
+#: (``None`` marks a config whose state cannot be checkpointed: build
+#: fresh every time). Property-hybrid cells get their own slot — two
+#: cells sharing a base config but differing in overrides are
+#: different machines. Lives at module level so both pool workers and
+#: the in-process serial path amortize machine construction the same
+#: way.
+_MACHINES: dict[tuple, ServerMachine | None] = {}
 
 #: Worker-side handles on disk stores, keyed by root path.
 _STORES: dict[str, ResultStore] = {}
@@ -85,8 +88,9 @@ def _machine_for(spec: ExperimentSpec) -> ServerMachine:
     config = spec.build_config()
     if not recycling_enabled():
         return ServerMachine(config, seed=spec.seed)
-    if spec.config in _MACHINES:
-        machine = _MACHINES[spec.config]
+    slot = (spec.config, getattr(spec, "props", ()))
+    if slot in _MACHINES:
+        machine = _MACHINES[slot]
         if machine is None:  # config known to be non-recyclable
             return ServerMachine(config, seed=spec.seed)
         machine.recycle(config, spec.seed)
@@ -97,9 +101,9 @@ def _machine_for(spec: ExperimentSpec) -> ServerMachine:
     except CheckpointError:
         # Remember only the verdict: keeping the machine would pin a
         # full (and soon dirty) component graph per worker for nothing.
-        _MACHINES[spec.config] = None
+        _MACHINES[slot] = None
         return machine
-    _MACHINES[spec.config] = machine
+    _MACHINES[slot] = machine
     return machine
 
 

@@ -17,8 +17,9 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.props import PropertySet, apply_props, get_prop, render_overrides
 from repro.scenarios import registry as scenarios
-from repro.server.configs import CONFIG_BUILDERS, MachineConfig, config_by_name
+from repro.server.configs import MachineConfig, config_by_name
 from repro.units import MS
 from repro.workloads.base import Workload
 
@@ -26,7 +27,66 @@ from repro.workloads.base import Workload
 #: cache entries from an incompatible layout can never be returned.
 #: v2: cells are keyed by scenario (the registry name) instead of the
 #: fixed workload tuple.
-SCHEMA_VERSION = 2
+#: v3: cells are keyed by their resolved platform property set instead
+#: of the config name, so a named preset and its explicit property
+#: spelling (e.g. ``CPC1A`` vs ``Cshallow + package_policy=pc1a``)
+#: share one cache entry.
+SCHEMA_VERSION = 3
+
+#: A platform-property override value (parsed, not the CLI spelling).
+PropValue = bool | int | float | str
+
+#: Canonical override pairs: sorted by name, hashable, JSON-friendly.
+PropPairs = tuple[tuple[str, PropValue], ...]
+
+
+def normalize_props(props: Any) -> PropPairs:
+    """Canonicalize property overrides into sorted, validated pairs.
+
+    Accepts a mapping or an iterable of (name, value) pairs (lists
+    survive JSON round-trips); values may be CLI string spellings.
+    Fleet-scoped properties are rejected — they configure a cluster,
+    not a machine cell.
+    """
+    if props is None:
+        return ()
+    pairs = props.items() if isinstance(props, dict) else props
+    seen: dict[str, PropValue] = {}
+    for pair in pairs:
+        name, value = pair
+        prop = get_prop(name)
+        if prop.scope == "fleet":
+            raise ValueError(
+                f"property '{name}' is fleet-scoped; use it on a fleet "
+                "grid (repro fleet), not a machine cell"
+            )
+        if name in seen:
+            raise ValueError(f"duplicate property override '{name}'")
+        seen[name] = prop.parse(value)
+    return tuple(sorted(seen.items()))
+
+
+def merge_props(base: PropPairs, extra: PropPairs) -> PropPairs:
+    """Merge two canonical override sets (``extra`` wins on conflict)."""
+    if not extra:
+        return base
+    if not base:
+        return extra
+    merged = dict(base)
+    merged.update(extra)
+    return tuple(sorted(merged.items()))
+
+
+def resolved_machine_props(config: str, props: PropPairs) -> PropertySet:
+    """The full property set of ``config`` + overrides (key material)."""
+    return config_by_name(config).props().with_overrides(dict(props))
+
+
+def config_axis_label(config: str, props: PropPairs) -> str:
+    """``Cshallow+timer_tick_hz=250``-style axis label."""
+    if not props:
+        return config
+    return f"{config}+{render_overrides(dict(props))}"
 
 
 def duration_for_rate(qps: float) -> int:
@@ -86,6 +146,8 @@ class WorkloadPoint:
     working); ``duration_ns``/``warmup_ns`` override the spec-level
     window for this point only (e.g. the idle point of a power curve
     can use a short window while loaded points keep rate-sized ones).
+    ``props`` carries point-level platform-property overrides, merged
+    over (and winning against) the grid's ``props`` axis.
     """
 
     workload: str = ""
@@ -94,11 +156,13 @@ class WorkloadPoint:
     duration_ns: int | None = None
     warmup_ns: int | None = None
     scenario: str = ""
+    props: PropPairs = ()
 
     def __post_init__(self) -> None:
         workload, scenario = _normalize_scenario(self.workload, self.scenario)
         object.__setattr__(self, "workload", workload)
         object.__setattr__(self, "scenario", scenario)
+        object.__setattr__(self, "props", normalize_props(self.props))
         if self.qps < 0:
             raise ValueError(f"offered QPS cannot be negative: {self.qps}")
         if (
@@ -222,12 +286,18 @@ class ExperimentSpec:
     duration_ns: int
     warmup_ns: int
     scenario: str = ""
+    #: Platform-property overrides applied over ``config`` (the
+    #: canonical pairs :func:`normalize_props` produces).
+    props: PropPairs = ()
 
     def __post_init__(self) -> None:
-        if self.config not in CONFIG_BUILDERS:
-            raise KeyError(
-                f"unknown config {self.config!r}; have {sorted(CONFIG_BUILDERS)}"
-            )
+        config_by_name(self.config)  # friendly unknown-config error
+        object.__setattr__(self, "props", normalize_props(self.props))
+        if self.props:
+            # Cross-field constraints (e.g. CPC1A forbids CC6) only
+            # surface when the hybrid config is built — fail at
+            # construction, not inside a worker pool.
+            self.build_config()
         workload, scenario = _normalize_scenario(self.workload, self.scenario)
         object.__setattr__(self, "workload", workload)
         object.__setattr__(self, "scenario", scenario)
@@ -245,8 +315,21 @@ class ExperimentSpec:
         return scenarios.build(self.scenario, self.qps, self.preset)
 
     def build_config(self) -> MachineConfig:
-        """Instantiate the cell's machine configuration."""
-        return config_by_name(self.config)
+        """Instantiate the cell's machine configuration.
+
+        The result of applying the cell's property overrides to its
+        named base config; the returned config's name is canonical
+        (a resolved set matching a preset takes the preset's name).
+        """
+        return apply_props(self.config, dict(self.props))
+
+    def resolved_props(self) -> PropertySet:
+        """The cell's full platform property set (cached; frozen cell)."""
+        cached = getattr(self, "_resolved_props", None)
+        if cached is None:
+            cached = resolved_machine_props(self.config, self.props)
+            object.__setattr__(self, "_resolved_props", cached)
+        return cached
 
     @property
     def preset_label(self) -> str:
@@ -273,8 +356,11 @@ class ExperimentSpec:
         The hash covers the *canonical* cell, so different spellings
         of the same physical experiment share a cache entry: rate 0
         is the idle server whatever the scenario is named, the preset
-        only counts for preset/trace-driven scenarios, and the rate
-        only counts for rate-driven ones.
+        only counts for preset/trace-driven scenarios, the rate only
+        counts for rate-driven ones, and the machine is keyed by its
+        *resolved platform property set* — ``config="CPC1A"`` and
+        ``config="Cshallow", props=(("package_policy", "pc1a"),)``
+        hash identically (schema v3).
 
         The hash is cached on the (frozen) cell: the runner consults
         it several times per cell — cache pre-pass, worker dispatch,
@@ -290,7 +376,7 @@ class ExperimentSpec:
         payload = {
             "schema": SCHEMA_VERSION,
             **canonical_point(self.scenario, self.qps, self.preset),
-            "config": self.config,
+            "props": self.resolved_props().as_dict(),
             "seed": self.seed,
             "duration_ns": self.duration_ns,
             "warmup_ns": self.warmup_ns,
@@ -305,16 +391,24 @@ class ExperimentSpec:
         point = WorkloadPoint(
             self.workload, self.qps, self.preset, scenario=self.scenario
         )
-        return f"{self.config}/{point.label()}/seed{self.seed}"
+        config = config_axis_label(self.config, self.props)
+        return f"{config}/{point.label()}/seed{self.seed}"
 
 
 @dataclass(frozen=True)
 class SweepSpec:
     """A declarative experiment grid.
 
-    Expansion order is deterministic: configs (outermost) x workload
-    points x seeds (innermost), matching the CSV layout the ``export``
-    command has always produced.
+    Expansion order is deterministic: configs (outermost) x property
+    override sets x workload points x seeds (innermost), matching the
+    CSV layout the ``export`` command has always produced (the props
+    axis defaults to one empty override set, so prop-less grids keep
+    their historical expansion exactly).
+
+    ``props`` is the platform-property axis: each entry is one
+    override set (mapping or pairs; see :func:`normalize_props`), and
+    the grid crosses it with every config — ``repro sweep --set
+    timer_tick_hz=0,250`` builds a two-entry axis.
     """
 
     workloads: tuple[WorkloadPoint, ...]
@@ -324,6 +418,8 @@ class SweepSpec:
     duration_ns: int | None = None
     #: Spec-level warmup; None applies :func:`warmup_for_duration`.
     warmup_ns: int | None = None
+    #: Property-override axis (one entry per override set).
+    props: tuple[PropPairs, ...] = ((),)
 
     def __post_init__(self) -> None:
         if not self.workloads:
@@ -332,30 +428,38 @@ class SweepSpec:
             raise ValueError("a sweep needs at least one config")
         if not self.seeds:
             raise ValueError("a sweep needs at least one seed")
+        if not self.props:
+            raise ValueError(
+                "a sweep needs at least one property override set "
+                "(the default ((),) is the no-override axis)"
+            )
+        object.__setattr__(
+            self, "props", tuple(normalize_props(p) for p in self.props)
+        )
         for name in self.configs:
-            if name not in CONFIG_BUILDERS:
-                raise KeyError(
-                    f"unknown config {name!r}; have {sorted(CONFIG_BUILDERS)}"
-                )
+            config_by_name(name)  # friendly unknown-config error
         # Repeats would double-weight cells in the per-seed means and
         # understate the confidence intervals.
         for label, values in (
             ("seeds", self.seeds),
             ("configs", self.configs),
             ("workload points", self.workloads),
+            ("property override sets", self.props),
         ):
             if len(set(values)) != len(values):
                 raise ValueError(f"duplicate {label} in sweep: {values}")
         if self.duration_ns is not None and self.duration_ns <= 0:
             raise ValueError(f"duration must be positive, got {self.duration_ns}")
         # Distinct spellings of one physical cell (idle vs memcached@0,
-        # preset points differing only in the ignored rate) share a
-        # canonical key; they would double-weight aggregates too.
+        # preset points differing only in the ignored rate, a named
+        # preset vs its explicit property spelling) share a canonical
+        # key; they would double-weight aggregates too.
         keys = [cell.key() for cell in self.cells()]
         if len(set(keys)) != len(keys):
             raise ValueError(
                 "sweep contains equivalent spellings of the same experiment "
-                "(e.g. WorkloadPoint('idle') and WorkloadPoint('memcached', qps=0))"
+                "(e.g. WorkloadPoint('idle') and WorkloadPoint('memcached', "
+                "qps=0), or a preset listed next to its property spelling)"
             )
 
     def _window(self, point: WorkloadPoint) -> tuple[int, int]:
@@ -374,20 +478,27 @@ class SweepSpec:
             windows = [self._window(point) for point in self.workloads]
             cached = []
             for config in self.configs:
-                for point, (duration, warmup) in zip(self.workloads, windows):
-                    for seed in self.seeds:
-                        cached.append(ExperimentSpec(
-                            workload=point.workload,
-                            qps=point.qps,
-                            preset=point.preset,
-                            config=config,
-                            seed=seed,
-                            duration_ns=duration,
-                            warmup_ns=warmup,
-                            scenario=point.scenario,
-                        ))
+                for overrides in self.props:
+                    for point, (duration, warmup) in zip(self.workloads, windows):
+                        for seed in self.seeds:
+                            cached.append(ExperimentSpec(
+                                workload=point.workload,
+                                qps=point.qps,
+                                preset=point.preset,
+                                config=config,
+                                seed=seed,
+                                duration_ns=duration,
+                                warmup_ns=warmup,
+                                scenario=point.scenario,
+                                props=merge_props(overrides, point.props),
+                            ))
             object.__setattr__(self, "_expanded", cached)
         return list(cached)
 
     def __len__(self) -> int:
-        return len(self.configs) * len(self.workloads) * len(self.seeds)
+        return (
+            len(self.configs)
+            * len(self.props)
+            * len(self.workloads)
+            * len(self.seeds)
+        )

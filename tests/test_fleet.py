@@ -59,6 +59,36 @@ class TestClusterConfig:
         assert cluster.resolved_pack_watermark() == n_cores
         assert ClusterConfig(pack_watermark=3).resolved_pack_watermark() == 3
 
+    def test_props_build_the_canonical_hybrid(self):
+        cluster = ClusterConfig(
+            machine="Cshallow", props={"package_policy": "pc1a"}
+        )
+        assert cluster.build_machine_config().name == "CPC1A"
+        assert not cluster.is_heterogeneous()
+
+    def test_server_props_build_a_heterogeneous_mix(self):
+        cluster = ClusterConfig(
+            machine="Cshallow", n_servers=2,
+            server_props=((), {"timer_tick_hz": 250}),
+        )
+        assert cluster.is_heterogeneous()
+        assert cluster.build_machine_config(0).name == "Cshallow"
+        assert (
+            cluster.build_machine_config(1).name
+            == "Cshallow+timer_tick_hz=250"
+        )
+        assert cluster.label().endswith("/mixed")
+
+    def test_server_props_length_validated(self):
+        with pytest.raises(ValueError, match="one entry per server"):
+            ClusterConfig(n_servers=3, server_props=((),))
+
+    def test_bad_props_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="timer_tick_hz"):
+            ClusterConfig(props={"timer_tick_hz": -5})
+        with pytest.raises(ValueError, match="fleet-scoped"):
+            ClusterConfig(props={"fleet.n_servers": 4})
+
     def test_label(self):
         cluster = ClusterConfig(
             machine="CPC1A", n_servers=16, routing="power-aware-pack"
@@ -167,6 +197,28 @@ class TestFleetExperiment:
             small_cluster("round-robin", n=2),
             duration_ns=8 * MS, warmup_ns=2 * MS, seed=1,
         )
+
+    def test_config_name_is_the_canonical_built_name(self):
+        # A Cshallow cluster overridden to pc1a reports as CPC1A, so
+        # aggregation never folds a hybrid into its spelled base.
+        result = run_fleet_experiment(
+            NullWorkload(),
+            ClusterConfig(
+                machine="Cshallow", n_servers=2,
+                props={"package_policy": "pc1a"},
+            ),
+            duration_ns=4 * MS, warmup_ns=1 * MS, seed=1,
+        )
+        assert result.config_name == "CPC1A"
+        mixed = run_fleet_experiment(
+            NullWorkload(),
+            ClusterConfig(
+                machine="Cshallow", n_servers=2,
+                server_props=((), {"timer_tick_hz": 250}),
+            ),
+            duration_ns=4 * MS, warmup_ns=1 * MS, seed=1,
+        )
+        assert mixed.config_name == "Cshallow/mixed"
 
     def test_totals_are_consistent(self, result):
         assert result.requests_completed == sum(
@@ -310,6 +362,34 @@ class TestFleetCells:
         assert base.key() != self.cell(n_servers=4).key()
         assert base.key() != self.cell(dispatch_latency_ns=0).key()
         assert base.key() == self.cell().key()
+
+    def test_key_canonicalizes_the_machine_spelling(self):
+        # A fleet of CPC1A servers and a fleet of
+        # Cshallow+package_policy=pc1a servers are one experiment.
+        explicit = self.cell(
+            machine="Cshallow", props={"package_policy": "pc1a"}
+        )
+        assert explicit.key() == self.cell().key()
+        assert explicit.key() != self.cell(machine="Cshallow").key()
+
+    def test_key_distinguishes_per_server_props(self):
+        mixed = self.cell(server_props=((), {"timer_tick_hz": 250}))
+        assert mixed.key() != self.cell().key()
+        # Identical per-server sets collapse to the homogeneous key.
+        spelled_out = self.cell(server_props=((), ()))
+        assert spelled_out.key() == self.cell().key()
+
+    def test_props_round_trip_through_json(self):
+        cell = self.cell(
+            machine="Cshallow",
+            props={"governor": "menu"},
+            server_props=((), {"timer_tick_hz": 250}),
+        )
+        from repro.fleet import FleetCell
+
+        clone = FleetCell.from_dict(json.loads(json.dumps(cell.as_dict())))
+        assert clone == cell
+        assert clone.key() == cell.key()
 
     def test_key_ignores_the_watermark_unless_packing(self):
         # Only power-aware-pack reads the watermark: spelling it on a

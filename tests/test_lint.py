@@ -35,8 +35,10 @@ def codes(findings, *, include_suppressed=False):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert sorted(RULES) == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+    def test_all_six_rules_registered(self):
+        assert sorted(RULES) == [
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+        ]
 
     def test_rules_carry_docs(self):
         for rule in rule_catalog():
@@ -394,6 +396,54 @@ class TestCli:
 
     def test_no_paths_is_usage_error(self, capsys):
         assert self.run_cli("lint") == 2
+
+
+class TestRpr006RawMachineConfig:
+    RAW = (
+        "from repro.server.configs import MachineConfig\n"
+        "\n"
+        "def build():\n"
+        "    return MachineConfig(\n"
+        "        name='x', enabled_cstates=('CC1',),\n"
+        "        governor='shallow', package_policy='none',\n"
+        "    )\n"
+    )
+
+    def test_raw_policy_kwargs_flagged_in_sim(self):
+        assert codes(lint_source(self.RAW, SIM_PATH)) == ["RPR006"]
+
+    def test_raw_policy_kwargs_flagged_in_tools(self):
+        assert codes(lint_source(self.RAW, TOOL_PATH)) == ["RPR006"]
+
+    def test_test_domain_exempt(self):
+        assert codes(lint_source(self.RAW, TEST_PATH)) == []
+
+    def test_props_layer_exempt(self):
+        # The property layer is where field mappings legitimately live.
+        assert codes(lint_source(self.RAW, "src/repro/props/pset.py")) == []
+
+    def test_config_presets_exempt(self):
+        path = "src/repro/server/configs.py"
+        assert codes(lint_source(self.RAW, path)) == []
+
+    def test_policy_free_construction_allowed(self):
+        src = (
+            "from repro.server.configs import MachineConfig\n"
+            "\n"
+            "def rename(base):\n"
+            "    import dataclasses\n"
+            "    return dataclasses.replace(base, name='renamed')\n"
+        )
+        assert codes(lint_source(src, SIM_PATH)) == []
+
+    def test_suppression_marker_downgrades(self):
+        src = self.RAW.replace(
+            "    return MachineConfig(\n",
+            "    return MachineConfig(  # repro-lint: ignore[RPR006]\n",
+        )
+        findings = lint_source(src, SIM_PATH)
+        assert codes(findings) == []
+        assert codes(findings, include_suppressed=True) == ["RPR006"]
 
 
 class TestRepoIsClean:

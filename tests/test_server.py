@@ -123,6 +123,12 @@ class TestConfigs:
         with pytest.raises(KeyError):
             config_by_name("Cmagic")
 
+    def test_config_by_name_suggests_close_spellings(self):
+        with pytest.raises(KeyError, match="did you mean 'Cshallow'"):
+            config_by_name("cshallow")
+        with pytest.raises(KeyError, match="did you mean 'CPC1A'"):
+            config_by_name("CPC1")
+
     def test_pc1a_with_cc6_rejected(self):
         with pytest.raises(ValueError):
             MachineConfig(
@@ -139,6 +145,34 @@ class TestConfigs:
                 enabled_cstates=("CC1",),
                 governor="shallow",
                 package_policy="pc7",
+            )
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(ValueError, match="governor"):
+            MachineConfig(
+                name="bad", enabled_cstates=("CC1",),
+                governor="ondemand", package_policy="none",
+            )
+
+    def test_unknown_tick_mode_rejected(self):
+        with pytest.raises(ValueError, match="tick_mode"):
+            MachineConfig(
+                name="bad", enabled_cstates=("CC1",),
+                governor="shallow", package_policy="none", tick_mode="nohz_full",
+            )
+
+    def test_unknown_dispatch_policy_rejected(self):
+        with pytest.raises(ValueError, match="dispatch_policy"):
+            MachineConfig(
+                name="bad", enabled_cstates=("CC1",),
+                governor="shallow", package_policy="none", dispatch_policy="hash-ring",
+            )
+
+    def test_negative_tick_rate_rejected(self):
+        with pytest.raises(ValueError, match="timer_tick_hz"):
+            MachineConfig(
+                name="bad", enabled_cstates=("CC1",),
+                governor="shallow", package_policy="none", timer_tick_hz=-1,
             )
 
 
