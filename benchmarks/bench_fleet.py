@@ -12,6 +12,11 @@ Two questions, one trajectory (``results/BENCH_fleet.json``):
   for a routing x rate fleet grid through a parallel
   :class:`~repro.sweep.SweepSession` — the fleet analogue of the
   sweep-throughput bench, gated at the same -30 % budget.
+* **Do big fleets stay routine?** ``fleet_big`` sweeps a 64-server
+  memcached-diurnal grid through the warm session (cluster recycle +
+  parked servers are what make its cells/sec), gated at the same
+  budget; ``--big`` additionally times one 1,000-server cell fresh
+  and recycled (the nightly acceptance point — single-digit seconds).
 
 Run modes (same contract as the kernel/sweep benches):
 
@@ -58,6 +63,15 @@ PACK_WARMUP_NS = 6 * MS
 GRID_RATES = (20_000.0, 60_000.0, 120_000.0)
 GRID_ROUTINGS = ("round-robin", "power-aware-pack")
 
+#: The big-fleet grid: the acceptance scenario at 64 servers. Short
+#: explicit windows — the measured quantity is how the session handles
+#: large cells (cluster recycle, parked servers), not one long run.
+BIG_N_SERVERS = 64
+BIG_QPS = 256_000.0
+#: The nightly acceptance point: one 1,000-server diurnal cell.
+HUGE_N_SERVERS = 1_000
+HUGE_QPS = 400_000.0
+
 
 def grid_cells():
     """The throughput grid as an explicit fleet-cell list."""
@@ -74,6 +88,60 @@ def grid_cells():
         warmup_ns=2 * MS,
     )
     return spec.cells()
+
+
+def big_grid_cells():
+    """The 64-server diurnal grid (one cell per routing)."""
+    spec = FleetSpec(
+        workloads=(WorkloadPoint("memcached-diurnal", qps=BIG_QPS, preset="low"),),
+        clusters=tuple(
+            ClusterConfig(machine="CPC1A", n_servers=BIG_N_SERVERS, routing=routing)
+            for routing in GRID_ROUTINGS
+        ),
+        seeds=(1,),
+        duration_ns=8 * MS,
+        warmup_ns=2 * MS,
+    )
+    return spec.cells()
+
+
+def measure_huge_cell(n_servers: int = HUGE_N_SERVERS, qps: float = HUGE_QPS) -> dict:
+    """Time one 1,000-server diurnal cell, fresh and recycled.
+
+    The acceptance point for cluster-scale work: the whole cell —
+    build, checkpoint, simulate, collect — must stay in single-digit
+    seconds, and a recycled rerun must skip the construction cost.
+    """
+    import time as _time
+
+    from repro.api import run_cell
+    from repro.fleet import FleetCell
+
+    cell = FleetCell(
+        workload="memcached-diurnal", qps=qps, preset="low",
+        machine="CPC1A", n_servers=n_servers, routing="power-aware-pack",
+        seed=1, duration_ns=50 * MS, warmup_ns=10 * MS,
+    )
+    start = _time.perf_counter()
+    fleet = cell.build()
+    built = _time.perf_counter()
+    fleet.checkpoint()
+    result = run_cell(cell, runtime=fleet)
+    fresh_done = _time.perf_counter()
+    recycled_cell = FleetCell(**{**cell.as_dict(), "seed": 2})
+    recycled_cell.recycle(fleet)
+    run_cell(recycled_cell, runtime=fleet)
+    recycled_done = _time.perf_counter()
+    return {
+        "n_servers": n_servers,
+        "offered_qps": qps,
+        "duration_ms": cell.duration_ns // MS,
+        "build_seconds": round(built - start, 3),
+        "fresh_seconds": round(fresh_done - start, 3),
+        "recycled_seconds": round(recycled_done - fresh_done, 3),
+        "requests_completed": result.requests_completed,
+        "active_servers": result.active_servers(),
+    }
 
 
 def measure_pack_vs_round_robin(
@@ -113,22 +181,36 @@ def measure_pack_vs_round_robin(
     }
 
 
-def run_suite(repeats: int = DEFAULT_REPEATS, workers: int = DEFAULT_WORKERS) -> dict:
-    """Best-of-``repeats`` fleet cells/sec plus the packing comparison."""
-    cells = grid_cells()
+def _time_grid(session: SweepSession, cells, repeats: int) -> dict:
+    """Best-of-``repeats`` cells/sec for one grid through the session."""
     n = len(cells)
     best = 0.0
     seconds = 0.0
-    with SweepSession(workers=workers) as session:
-        session.run(cells)  # untimed warm-up: fork the pool
-        for _ in range(repeats):
-            start = time.perf_counter()
-            session.run(cells)
-            elapsed = time.perf_counter() - start
-            rate = n / elapsed
-            if rate > best:
-                best, seconds = rate, elapsed
+    session.run(cells)  # untimed warm-up: fork the pool, warm fleets
+    for _ in range(repeats):
+        start = time.perf_counter()
+        session.run(cells)
+        elapsed = time.perf_counter() - start
+        rate = n / elapsed
+        if rate > best:
+            best, seconds = rate, elapsed
     return {
+        "cells": n,
+        "seconds": round(seconds, 6),
+        "cells_per_sec": round(best, 3),
+    }
+
+
+def run_suite(
+    repeats: int = DEFAULT_REPEATS,
+    workers: int = DEFAULT_WORKERS,
+    big: bool = False,
+) -> dict:
+    """Best-of-``repeats`` fleet cells/sec plus the packing comparison."""
+    with SweepSession(workers=workers) as session:
+        fleet_grid = _time_grid(session, grid_cells(), repeats)
+        fleet_big = _time_grid(session, big_grid_cells(), repeats)
+    run = {
         "schema": BENCH_SCHEMA,
         "repeats": repeats,
         "workers": workers,
@@ -137,24 +219,31 @@ def run_suite(repeats: int = DEFAULT_REPEATS, workers: int = DEFAULT_WORKERS) ->
             "rates": list(GRID_RATES),
             "n_servers": N_SERVERS,
             "duration_ms": 10,
-            "cells": n,
+            "cells": fleet_grid["cells"],
+        },
+        "big_grid": {
+            "routings": list(GRID_ROUTINGS),
+            "qps": BIG_QPS,
+            "n_servers": BIG_N_SERVERS,
+            "duration_ms": 8,
+            "cells": fleet_big["cells"],
         },
         "scenarios": {
-            "fleet_grid": {
-                "cells": n,
-                "seconds": round(seconds, 6),
-                "cells_per_sec": round(best, 3),
-            },
+            "fleet_grid": fleet_grid,
+            "fleet_big": fleet_big,
         },
         "pack_vs_round_robin": measure_pack_vs_round_robin(),
     }
+    if big:
+        run["huge_cell"] = measure_huge_cell()
+    return run
 
 
 def check_regression(
     run: dict,
     baseline_run: dict,
     max_regression: float,
-    scenarios=("fleet_grid",),
+    scenarios=("fleet_grid", "fleet_big"),
 ) -> list[str]:
     """Gate failures: throughput drops and a closed packing gap."""
     failures = check_rate_regression(
@@ -204,6 +293,11 @@ def main(argv=None) -> int:
         "--replace", action="store_true",
         help="overwrite --out instead of appending to its run history",
     )
+    parser.add_argument(
+        "--big", action="store_true",
+        help="also time one 1,000-server diurnal cell (the nightly "
+             "acceptance point; adds a few seconds)",
+    )
     args = parser.parse_args(argv)
 
     baseline_run = None
@@ -220,11 +314,23 @@ def main(argv=None) -> int:
                 f"{args.baseline}; skipping the throughput gate]"
             )
 
-    run = run_suite(repeats=args.repeats, workers=args.workers)
+    run = run_suite(repeats=args.repeats, workers=args.workers, big=args.big)
     run["label"] = args.label
     grid = run["scenarios"]["fleet_grid"]
     print(f"fleet_grid: {grid['cells_per_sec']:>8,.1f} cells/s "
           f"({grid['cells']} cells, {N_SERVERS} servers each)")
+    big = run["scenarios"]["fleet_big"]
+    print(f"fleet_big:  {big['cells_per_sec']:>8,.1f} cells/s "
+          f"({big['cells']} cells, {BIG_N_SERVERS} servers each)")
+    huge = run.get("huge_cell")
+    if huge is not None:
+        print(
+            f"huge_cell:  {huge['n_servers']} servers, "
+            f"{huge['fresh_seconds']:.2f}s fresh "
+            f"(build {huge['build_seconds']:.2f}s), "
+            f"{huge['recycled_seconds']:.2f}s recycled, "
+            f"{huge['requests_completed']} requests"
+        )
     comparison = run["pack_vs_round_robin"]
     rr = comparison["routings"]["round-robin"]
     pack = comparison["routings"]["power-aware-pack"]
@@ -243,14 +349,14 @@ def main(argv=None) -> int:
     failures = check_regression(
         run, baseline_run if baseline_run is not None else run,
         args.max_regression,
-        scenarios=("fleet_grid",) if baseline_run is not None else (),
+        scenarios=("fleet_grid", "fleet_big") if baseline_run is not None else (),
     )
     if failures:
         for failure in failures:
             print(f"REGRESSION {failure}")
         return 1
     print("fleet gates ok (packing saves energy"
-          + (f"; fleet_grid within -{args.max_regression:.0%} of baseline)"
+          + (f"; grids within -{args.max_regression:.0%} of baseline)"
              if baseline_run is not None else ")"))
     return 0
 

@@ -32,7 +32,12 @@ See ``docs/fleet.md`` for the full tour and ``repro fleet --help``
 for the CLI entry point.
 """
 
-from repro.fleet.cluster import ClusterConfig, FleetMachine, server_prefix
+from repro.fleet.cluster import (
+    ClusterConfig,
+    FleetMachine,
+    park_enabled,
+    server_prefix,
+)
 from repro.fleet.experiment import collect_fleet_result, run_fleet_experiment
 from repro.fleet.result import (
     FLEET_CSV_COLUMNS,
@@ -41,8 +46,14 @@ from repro.fleet.result import (
     flatten_fleet_result,
     fleet_power_curve,
 )
-from repro.fleet.routing import ROUTING_POLICIES, LoadBalancer
+from repro.fleet.routing import (
+    POLICY_FUNCTIONS,
+    ROUTING_POLICIES,
+    LoadBalancer,
+    PolicyFn,
+)
 from repro.fleet.spec import FLEET_SCHEMA_VERSION, FleetCell, FleetSpec
+from repro.fleet.state import FleetState
 
 __all__ = [
     "FLEET_CSV_COLUMNS",
@@ -52,12 +63,16 @@ __all__ = [
     "FleetMachine",
     "FleetResult",
     "FleetSpec",
+    "FleetState",
     "LoadBalancer",
+    "POLICY_FUNCTIONS",
+    "PolicyFn",
     "ROUTING_POLICIES",
     "ServerResult",
     "collect_fleet_result",
     "flatten_fleet_result",
     "fleet_power_curve",
+    "park_enabled",
     "run_fleet_experiment",
     "server_prefix",
 ]

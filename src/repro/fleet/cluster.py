@@ -10,17 +10,42 @@ prefixes (``s00.package``, ``s01.package``, …) — plus the
 scenario-driven arrival stream across them. It implements the same
 ``inject`` protocol workloads target, so every registered scenario
 drives a fleet unchanged.
+
+Three mechanisms keep 1,000-server fleets routine rather than heroic:
+
+* **Flat hot state.** Per-server counters the inner loops touch —
+  outstanding requests, routing tallies, the parked mask — live in a
+  :class:`~repro.fleet.state.FleetState` struct-of-arrays, so policy
+  decisions and window resets are single array passes.
+* **Cluster recycle.** ``checkpoint()`` walks kernel + meter + all N
+  machines as one unit (the same
+  :class:`~repro.server.recycle.MachineCheckpoint` walker single
+  servers use), so a sweep session rebuilds a warm fleet per cell by
+  restoring, not reconstructing.
+* **Parked servers.** A fully-idle server with an empty queue is
+  *parked*: its scheduler-tick events are pulled out of the kernel
+  and credited in closed form until the router wakes it, so kernel
+  load scales with the servers actually doing work. Power and
+  residency already integrate lazily, which is exactly the closed
+  form — parking changes no measurement (see ``docs/fleet.md``).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass
+from typing import Callable
+
+import numpy as np
 
 from repro.fleet.routing import ROUTING_POLICIES, LoadBalancer
+from repro.fleet.state import FleetState
+from repro.hw.signals import Signal
 from repro.power.meter import PowerMeter
 from repro.props import apply_props, render_overrides
 from repro.server.configs import MachineConfig, config_by_name
 from repro.server.machine import ServerMachine
+from repro.server.recycle import MachineCheckpoint
 from repro.server.stats import MachineStats
 from repro.sim.engine import Simulator
 from repro.sweep.spec import PropPairs, merge_props, normalize_props
@@ -31,6 +56,16 @@ from repro.workloads.base import Request
 def server_prefix(index: int) -> str:
     """The power-channel prefix of server ``index`` (``s03.``)."""
     return f"s{index:02d}."
+
+
+def park_enabled() -> bool:
+    """Whether the parked-server fast path is on (default: yes).
+
+    ``REPRO_FLEET_PARK=0`` disables it — the A/B switch the
+    conservation tests (and any divergence hunt) flip to compare the
+    analytic path against the pure event-driven run.
+    """
+    return os.environ.get("REPRO_FLEET_PARK", "1") != "0"
 
 
 @dataclass(frozen=True)
@@ -89,9 +124,18 @@ class ClusterConfig:
             )
         # Hybrid configs only fail when built (cross-field constraints
         # like "CPC1A forbids CC6") — fail at construction, not inside
-        # a worker pool.
-        for index in range(self.n_servers):
-            self.build_machine_config(index)
+        # a worker pool. Each *distinct* per-server resolution is built
+        # once: a homogeneous 1,000-server cluster validates one
+        # config, not one thousand.
+        if not self.server_props:
+            self.build_machine_config(0)
+        else:
+            seen: set[PropPairs] = set()
+            for index in range(self.n_servers):
+                pairs = self.props_for_server(index)
+                if pairs not in seen:
+                    seen.add(pairs)
+                    self.build_machine_config(index)
 
     def props_for_server(self, index: int) -> PropPairs:
         """The merged override pairs applied to server ``index``."""
@@ -105,6 +149,8 @@ class ClusterConfig:
 
     def is_heterogeneous(self) -> bool:
         """Whether servers differ in their resolved configuration."""
+        if not self.server_props:
+            return False
         return len({self.props_for_server(i)
                     for i in range(self.n_servers)}) > 1
 
@@ -144,33 +190,197 @@ class FleetMachine:
 
     All machines run on one shared simulator, so cross-server event
     ordering is globally deterministic for a fixed seed — the fleet
-    analogue of the single-machine determinism contract.
+    analogue of the single-machine determinism contract. Per-server
+    hot state lives in :attr:`state` (a
+    :class:`~repro.fleet.state.FleetState`); the balancer and the park
+    manager read and write those arrays, never per-object mirrors.
     """
 
-    def __init__(self, cluster: ClusterConfig, seed: int = 0):
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        seed: int = 0,
+        *,
+        sanitize: bool | None = None,
+    ):
         self.cluster = cluster
-        self.sim = Simulator(seed)
+        self.sim = Simulator(seed, sanitize=sanitize)
         self.meter = PowerMeter(self.sim)
-        # Per-server configs: identical objects for homogeneous fleets,
-        # per-index property hybrids for heterogeneous ones.
+        # Per-server configs: one shared object for homogeneous fleets
+        # (configs are frozen plain data — building N identical copies
+        # would dominate large-fleet construction), per-index property
+        # hybrids for heterogeneous ones.
+        if cluster.server_props:
+            configs = [
+                cluster.build_machine_config(index)
+                for index in range(cluster.n_servers)
+            ]
+        else:
+            configs = [cluster.build_machine_config(0)] * cluster.n_servers
         self.machines = [
             ServerMachine(
-                cluster.build_machine_config(index),
+                config,
                 seed=seed,
                 sim=self.sim,
                 meter=self.meter,
                 channel_prefix=server_prefix(index),
             )
-            for index in range(cluster.n_servers)
+            for index, config in enumerate(configs)
         ]
+        watermark = cluster.pack_watermark
+        if watermark <= 0:
+            watermark = configs[0].soc.n_cores
+        self.state = FleetState(cluster.n_servers, watermark)
         self.balancer = LoadBalancer(
             self.sim,
             self.machines,
             policy=cluster.routing,
             dispatch_latency_ns=cluster.dispatch_latency_ns,
-            pack_watermark=cluster.pack_watermark,
+            state=self.state,
         )
         self.received = 0
+        # Parked-server fast path: only machines whose idle periods are
+        # side-effect-free can be detached — tickless ones trivially,
+        # nohz ones because a suppressed tick only bumps a counter
+        # (credited in closed form). Legacy periodic ticks deliver work
+        # to idle cores, so those machines never park.
+        self._park_enabled = park_enabled()
+        self._parkable = [
+            self._park_enabled
+            and (machine.ticks is None or machine.ticks.mode == "nohz_idle")
+            for machine in self.machines
+        ]
+        self.balancer.on_wake = self._unpark
+        self.balancer.on_drained = self._maybe_park
+        if self._park_enabled:
+            for index, machine in enumerate(self.machines):
+                if self._parkable[index]:
+                    machine.all_idle.watch(self._park_watch(index))
+                    # Servers idle from birth never see an all-idle
+                    # *transition*; park them now so a packed fleet's
+                    # untouched tail stays off the kernel entirely.
+                    self._maybe_park(index)
+
+    # -- warm reuse --------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Capture the just-built cluster so it can be recycled.
+
+        One walker pass covers the whole unit — shared kernel, shared
+        meter, all N machines, balancer and :class:`FleetState` arrays.
+        Must run before any event fires. Raises
+        :class:`~repro.server.recycle.CheckpointError` for clusters
+        whose state cannot be snapshotted faithfully (e.g. servers
+        with OS timer ticks, whose staggered arm events are live);
+        callers treat those as non-recyclable and rebuild per cell.
+        """
+        self._checkpoint = MachineCheckpoint(self)
+
+    def recycle(self, cluster: ClusterConfig, seed: int) -> None:
+        """Rewind to the checkpointed fresh state under a new seed.
+
+        The recycled fleet is byte-identical to
+        ``FleetMachine(cluster, seed)`` (pinned by the recycle-vs-fresh
+        golden tests). The target cluster must resolve to the same
+        per-server machine configs; routing policy, dispatch latency
+        and pack watermark are balancer-only knobs, so one warm fleet
+        serves cells that differ only in those.
+        """
+        checkpoint = getattr(self, "_checkpoint", None)
+        if checkpoint is None:
+            raise RuntimeError(
+                "recycle() needs a checkpoint; call checkpoint() on the "
+                "freshly built fleet first"
+            )
+        if cluster.n_servers != len(self.machines):
+            raise ValueError(
+                f"fleet was built with {len(self.machines)} servers; it "
+                f"cannot be recycled into {cluster.n_servers}"
+            )
+        if cluster.server_props or self.cluster.server_props:
+            mismatch = next(
+                (
+                    index
+                    for index, machine in enumerate(self.machines)
+                    if cluster.build_machine_config(index) != machine.config
+                ),
+                None,
+            )
+        else:
+            mismatch = (
+                None
+                if cluster.build_machine_config(0) == self.machines[0].config
+                else 0
+            )
+        if mismatch is not None:
+            raise ValueError(
+                f"server {mismatch} was built for config "
+                f"{self.machines[mismatch].config.name!r}; the fleet cannot "
+                f"be recycled into cluster {cluster.label()!r}"
+            )
+        checkpoint.restore(seed)
+        # The restore pass rebuilds this object's __dict__ from the
+        # captured (checkpoint-free) snapshot; re-attach the handle so
+        # the fleet stays recyclable, then re-point the balancer at the
+        # target cell's routing knobs.
+        self._checkpoint = checkpoint
+        self.cluster = cluster
+        self.balancer.retarget(
+            cluster.routing,
+            dispatch_latency_ns=cluster.dispatch_latency_ns,
+            pack_watermark=cluster.pack_watermark,
+        )
+
+    # -- parked fast path --------------------------------------------------
+    def _park_watch(self, index: int) -> Callable[[Signal, bool, bool], None]:
+        def on_all_idle(signal: Signal, old: bool, new: bool) -> None:
+            if new:
+                self._maybe_park(index)
+
+        return on_all_idle
+
+    def _maybe_park(self, index: int) -> None:
+        """Park server ``index`` if it is fully idle with an empty queue."""
+        state = self.state
+        if (
+            not self._parkable[index]
+            or state.parked[index]
+            or state.outstanding[index] != 0
+            or not self.machines[index].all_idle.value
+        ):
+            return
+        state.parked[index] = True
+        ticks = self.machines[index].ticks
+        if ticks is not None:
+            ticks.suspend()
+
+    def _unpark(self, index: int) -> None:
+        """Wake a parked server (the router is about to dispatch to it)."""
+        self.state.parked[index] = False
+        ticks = self.machines[index].ticks
+        if ticks is not None:
+            ticks.resume()
+
+    def sync_parked(self) -> None:
+        """Settle parked servers' closed-form bookkeeping up to now.
+
+        Observation points (result collection) call this so tick
+        counters on still-parked servers read exactly what the
+        event-driven kernel would have accumulated. Power and
+        residency need no settling — their accumulators integrate
+        lazily on readout anyway.
+        """
+        state = self.state
+        if not state.parked.any():
+            return
+        for index in np.flatnonzero(state.parked):
+            ticks = self.machines[index].ticks
+            if ticks is not None:
+                ticks.credit_suppressed()
+
+    @property
+    def parked_servers(self) -> int:
+        """Servers currently on the analytic fast path."""
+        return self.state.parked_count()
 
     # -- request path ------------------------------------------------------
     def inject(self, request: Request) -> None:
@@ -186,9 +396,15 @@ class FleetMachine:
 
     # -- measurement -------------------------------------------------------
     def begin_measurement(self) -> None:
-        """Zero every server's meters and the routing tallies."""
+        """Zero every server's meters and the routing tallies.
+
+        One fused :meth:`PowerMeter.reset` pass covers all N machines'
+        channels; the per-machine calls then skip their own channel
+        loops.
+        """
+        self.meter.reset()
         for machine in self.machines:
-            machine.begin_measurement()
+            machine.begin_measurement(reset_channels=False)
         self.balancer.reset_counters()
         self.received = 0
 

@@ -26,7 +26,15 @@ def run_fleet_experiment(
     seed: int = 0,
     fleet: FleetMachine | None = None,
 ) -> FleetResult:
-    """Run ``workload`` against ``cluster`` and measure one window."""
+    """Run ``workload`` against ``cluster`` and measure one window.
+
+    The classic driver, kept as a thin wrapper over
+    :func:`repro.api.measure_window`; anything starting from a
+    :class:`~repro.fleet.spec.FleetCell` should prefer
+    :func:`repro.api.run_cell`.
+    """
+    from repro.api import measure_window
+
     if duration_ns <= 0:
         raise ValueError(f"duration must be positive, got {duration_ns}")
     if warmup_ns < 0:
@@ -46,10 +54,7 @@ def run_fleet_experiment(
                 f"fleet was built with seed {fleet.sim.seed} "
                 f"but the experiment is labelled seed {seed}"
             )
-    workload.start(fleet.sim, fleet)
-    fleet.run_for(warmup_ns)
-    fleet.begin_measurement()
-    fleet.run_for(duration_ns)
+    measure_window(fleet, workload, duration_ns, warmup_ns)
     return collect_fleet_result(fleet, workload, duration_ns, seed)
 
 
@@ -62,16 +67,20 @@ def collect_fleet_result(
     """Assemble a :class:`FleetResult` from a measured fleet."""
     duration_s = ns_to_s(duration_ns)
     cluster = fleet.cluster
+    # Parked servers first settle their closed-form bookkeeping so the
+    # counters below read as if the kernel had driven them throughout.
+    fleet.sync_parked()
     # One pass over the shared meter; the per-machine channel prefixes
     # split the readout into per-server package/DRAM domains.
     readout = fleet.meter.readout()
+    routed = fleet.balancer.routed
     servers = []
     for index, machine in enumerate(fleet.machines):
         package = readout.get(machine.package_domain)
         dram = readout.get(machine.dram_domain)
         servers.append(ServerResult(
             index=index,
-            routed=fleet.balancer.routed[index],
+            routed=int(routed[index]),
             requests_completed=machine.requests_completed,
             package_power_w=(package.energy_j if package else 0.0) / duration_s,
             dram_power_w=(dram.energy_j if dram else 0.0) / duration_s,

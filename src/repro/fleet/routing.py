@@ -19,6 +19,12 @@ of that trade:
   servers, the adversarial baseline that maximizes wake fan-out
   (best per-request queueing, worst package idleness).
 
+A policy is a **pure function** ``choose(state, request) -> index``
+over the read-only :class:`~repro.fleet.state.FleetState` array view —
+one numpy pass per decision, no per-server Python object walks, no
+hidden mutation (the balancer advances ``state.cursor`` after the
+route). See ``docs/fleet.md`` ("Adding a policy") for the contract.
+
 The balancer adds a configurable ``dispatch_latency_ns`` to every
 routed request (the ToR hop plus the balancer's own decision time),
 so the latency cost of indirection is part of the measured
@@ -27,27 +33,82 @@ end-to-end distribution rather than an invisible idealization.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
+import numpy as np
+
+from repro.fleet.state import FleetState
 from repro.server.machine import ServerMachine
 from repro.sim.engine import Simulator
 from repro.workloads.base import Request
 
-ROUTING_POLICIES = (
-    "round-robin",
-    "least-outstanding",
-    "power-aware-pack",
-    "power-aware-spread",
-)
+#: Policy signature: a pure decision over the fleet's array state.
+PolicyFn = Callable[[FleetState, "Request | None"], int]
+
+
+def _round_robin(state: FleetState, request: "Request | None") -> int:
+    """The classic even spread: cycle the cursor across the fleet."""
+    return state.cursor % state.n_servers
+
+
+def _least_outstanding(state: FleetState, request: "Request | None") -> int:
+    """Fewest in-flight requests wins; ties go to the lowest index."""
+    return int(np.argmin(state.outstanding))
+
+
+def _power_aware_pack(state: FleetState, request: "Request | None") -> int:
+    """Fill the lowest-numbered servers first.
+
+    A server only spills once it holds a full watermark of concurrent
+    work, so the tail of the fleet sees unbroken idle. With every
+    server at the watermark, fall back to least-outstanding.
+    """
+    below = state.outstanding < state.pack_watermark
+    index = int(np.argmax(below))
+    if below[index]:
+        return index
+    return int(np.argmin(state.outstanding))
+
+
+def _power_aware_spread(state: FleetState, request: "Request | None") -> int:
+    """Least outstanding with a rotating tie-break.
+
+    Consecutive requests land on different equally-idle servers —
+    every server keeps waking, by design.
+    """
+    outstanding = state.outstanding
+    candidates = np.flatnonzero(outstanding == outstanding.min())
+    offsets = (candidates - state.cursor) % state.n_servers
+    return int(candidates[np.argmin(offsets)])
+
+
+#: The policy registry; ``ROUTING_POLICIES`` (the validated name
+#: tuple) is derived from it and mirrored into the ``fleet.routing``
+#: platform-property row (a pinned test fails if the two drift).
+POLICY_FUNCTIONS: dict[str, PolicyFn] = {
+    "round-robin": _round_robin,
+    "least-outstanding": _least_outstanding,
+    "power-aware-pack": _power_aware_pack,
+    "power-aware-spread": _power_aware_spread,
+}
+
+ROUTING_POLICIES = tuple(POLICY_FUNCTIONS)
 
 
 class LoadBalancer:
     """Routes one arrival stream across the fleet's machines.
 
-    Outstanding-request accounting is balancer-owned (incremented at
-    routing time, decremented by each machine's completion hook), so
-    it survives measurement-window resets and never double-counts
-    requests still in flight across a window boundary.
+    All bookkeeping lives in the shared :class:`FleetState` arrays:
+    outstanding-request accounting is incremented at routing time and
+    decremented by each machine's completion hook, so it survives
+    measurement-window resets and never double-counts requests still
+    in flight across a window boundary. The policy itself is the pure
+    function ``POLICY_FUNCTIONS[policy]``.
+
+    ``on_wake``/``on_drained`` are the park-manager hooks
+    (:class:`~repro.fleet.cluster.FleetMachine` installs them): wake
+    fires before a request is dispatched to a parked server, drained
+    fires when a server's outstanding count returns to zero.
     """
 
     def __init__(
@@ -57,8 +118,9 @@ class LoadBalancer:
         policy: str = "round-robin",
         dispatch_latency_ns: int = 0,
         pack_watermark: int = 0,
+        state: FleetState | None = None,
     ):
-        if policy not in ROUTING_POLICIES:
+        if policy not in POLICY_FUNCTIONS:
             raise ValueError(
                 f"unknown routing policy {policy!r}; have {ROUTING_POLICIES}"
             )
@@ -70,60 +132,97 @@ class LoadBalancer:
             )
         self.sim = sim
         self.machines = list(machines)
-        self.policy = policy
-        self.dispatch_latency_ns = int(dispatch_latency_ns)
         # 0 = auto: one concurrency slot per core, i.e. pack a server
         # until every core has work before spilling to the next one.
         if pack_watermark <= 0:
             pack_watermark = len(self.machines[0].cores)
-        self.pack_watermark = pack_watermark
-        n = len(self.machines)
-        self.outstanding = [0] * n
-        self.routed = [0] * n
+        if state is None:
+            state = FleetState(len(self.machines), pack_watermark)
+        self.state = state
+        self.policy = policy
+        self._choose = POLICY_FUNCTIONS[policy]
+        self.dispatch_latency_ns = int(dispatch_latency_ns)
         self.dispatched = 0
-        self._cursor = 0
+        self.on_wake: Callable[[int], None] | None = None
+        self.on_drained: Callable[[int], None] | None = None
         for index, machine in enumerate(self.machines):
             machine.on_request_complete = self._completion_hook(index)
 
-    def _completion_hook(self, index: int):
+    def retarget(
+        self,
+        policy: str,
+        dispatch_latency_ns: int = 0,
+        pack_watermark: int = 0,
+    ) -> None:
+        """Re-point a (freshly restored) balancer at new routing knobs.
+
+        The cluster recycle path uses this so one warm fleet serves
+        every cell that shares its per-server configs, whatever the
+        routing policy, dispatch latency or watermark of the cell —
+        those knobs configure the balancer only, never the machines.
+        """
+        if policy not in POLICY_FUNCTIONS:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; have {ROUTING_POLICIES}"
+            )
+        if dispatch_latency_ns < 0:
+            raise ValueError(
+                f"dispatch latency cannot be negative: {dispatch_latency_ns}"
+            )
+        if pack_watermark <= 0:
+            pack_watermark = len(self.machines[0].cores)
+        self.policy = policy
+        self._choose = POLICY_FUNCTIONS[policy]
+        self.dispatch_latency_ns = int(dispatch_latency_ns)
+        self.state.pack_watermark = pack_watermark
+
+    # -- array views (balancer-owned state lives in FleetState) ------------
+    @property
+    def outstanding(self) -> np.ndarray:
+        """Per-server in-flight requests (int64 array view)."""
+        return self.state.outstanding
+
+    @property
+    def routed(self) -> np.ndarray:
+        """Per-server routed tallies since the last reset (int64 view)."""
+        return self.state.routed
+
+    @property
+    def pack_watermark(self) -> int:
+        return self.state.pack_watermark
+
+    def _completion_hook(self, index: int) -> Callable[[Request], None]:
+        outstanding = self.state.outstanding
+
         def on_complete(request: Request) -> None:
-            self.outstanding[index] -= 1
+            outstanding[index] -= 1
+            if outstanding[index] == 0 and self.on_drained is not None:
+                self.on_drained(index)
 
         return on_complete
 
     # -- policy ------------------------------------------------------------
     def pick(self) -> int:
-        """Index of the machine the next request is routed to."""
-        n = len(self.machines)
-        if self.policy == "round-robin":
-            index = self._cursor % n
-            self._cursor += 1
-            return index
-        outstanding = self.outstanding
-        if self.policy == "least-outstanding":
-            return min(range(n), key=lambda i: (outstanding[i], i))
-        if self.policy == "power-aware-pack":
-            # Fill the lowest-numbered servers first; a server only
-            # spills once it holds a full watermark of concurrent
-            # work, so the tail of the fleet sees unbroken idle.
-            for index in range(n):
-                if outstanding[index] < self.pack_watermark:
-                    return index
-            return min(range(n), key=lambda i: (outstanding[i], i))
-        # "power-aware-spread": least outstanding, rotating the
-        # tie-break so consecutive requests land on different servers
-        # — every server keeps waking, by design.
-        index = min(range(n), key=lambda i: (outstanding[i], (i - self._cursor) % n))
-        self._cursor = index + 1
+        """Index of the machine the next request is routed to.
+
+        Applies the policy function and advances the rotation cursor —
+        the one piece of bookkeeping the pure policies delegate.
+        """
+        index = self._choose(self.state, None)
+        self.state.cursor = index + 1
         return index
 
     # -- dispatch ----------------------------------------------------------
     def route(self, request: Request) -> int:
         """Route one request; returns the chosen machine index."""
-        index = self.pick()
-        self.routed[index] += 1
+        state = self.state
+        index = self._choose(state, request)
+        state.cursor = index + 1
+        state.routed[index] += 1
+        state.outstanding[index] += 1
         self.dispatched += 1
-        self.outstanding[index] += 1
+        if state.parked[index] and self.on_wake is not None:
+            self.on_wake(index)
         machine = self.machines[index]
         if self.dispatch_latency_ns == 0:
             machine.inject(request)
@@ -134,8 +233,8 @@ class LoadBalancer:
     def reset_counters(self) -> None:
         """Zero the routed/dispatched tallies (measurement boundary).
 
-        Outstanding counts are live state, not a measurement, and are
-        deliberately left alone.
+        Outstanding counts and the parked mask are live state, not a
+        measurement, and are deliberately left alone.
         """
-        self.routed = [0] * len(self.machines)
+        self.state.reset_counters()
         self.dispatched = 0

@@ -2,11 +2,11 @@
 
 A :class:`FleetCell` is the fleet analogue of
 :class:`~repro.sweep.spec.ExperimentSpec`: plain data naming one
-fully-determined cluster measurement. Cells run through the ordinary
-:class:`~repro.sweep.session.SweepSession` — the session calls their
-:meth:`FleetCell.simulate` hook instead of the single-machine path —
-so fleet sweeps inherit the whole orchestration stack for free:
-worker-pool fan-out with serial==parallel determinism, content-hash
+fully-determined cluster measurement. Both implement the
+:class:`repro.api.Cell` protocol, so fleet cells run through the
+ordinary :class:`~repro.sweep.session.SweepSession` and inherit the
+whole orchestration stack for free: worker-pool fan-out with
+serial==parallel determinism, warm-fleet recycling, content-hash
 store caching (fleet records carry their own ``kind`` tag), streaming
 CSV, and progress/stats plumbing.
 """
@@ -17,7 +17,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 
-from repro.fleet.cluster import ClusterConfig
+from repro.fleet.cluster import ClusterConfig, FleetMachine
 from repro.fleet.result import FleetResult
 from repro.sweep.spec import (
     PropPairs,
@@ -100,17 +100,46 @@ class FleetCell:
 
         return scenarios.build(self.scenario, self.qps, self.preset)
 
-    def simulate(self) -> FleetResult:
-        """Run this cell from scratch (the session's execution hook)."""
-        from repro.fleet.experiment import run_fleet_experiment
+    # -- cell protocol (repro.api) -----------------------------------------
+    def build(self) -> FleetMachine:
+        """Construct a fresh fleet for this cell."""
+        return FleetMachine(self.cluster(), seed=self.seed)
 
-        return run_fleet_experiment(
-            self.build_workload(),
-            self.cluster(),
-            duration_ns=self.duration_ns,
-            warmup_ns=self.warmup_ns,
-            seed=self.seed,
+    def warm_slot(self) -> tuple:
+        """Warm-reuse key: one fleet per server lineup.
+
+        Routing policy, dispatch latency and pack watermark are
+        balancer-only knobs (``FleetMachine.recycle`` retargets them),
+        so they stay out of the slot — one warm fleet serves every
+        routing of the same servers. The leading ``"fleet"`` tag is
+        what the sweep session's warm-cache eviction keys on (a fleet
+        runtime pins N machines, so only a few stay warm at once).
+        """
+        return ("fleet", self.machine, self.props, self.server_props,
+                self.n_servers)
+
+    def recycle(self, runtime: FleetMachine) -> None:
+        """Rewind a checkpointed fleet into this cell's fresh state."""
+        runtime.recycle(self.cluster(), self.seed)
+
+    def collect(self, runtime: FleetMachine, workload: Workload) -> FleetResult:
+        """Assemble the result from a measured fleet."""
+        from repro.fleet.experiment import collect_fleet_result
+
+        return collect_fleet_result(
+            runtime, workload, self.duration_ns, self.seed
         )
+
+    def simulate(self) -> FleetResult:
+        """Run this cell from scratch.
+
+        Deprecated: this predates the unified cell protocol — prefer
+        :func:`repro.api.run_cell`, which this now wraps.
+        """
+        from repro.api import run_cell
+
+        result: FleetResult = run_cell(self)
+        return result
 
     # -- identity ----------------------------------------------------------
     @property
@@ -152,17 +181,31 @@ class FleetCell:
         if cached is not None:
             return cached
         cluster = self.cluster()
-        server_sets = [
-            cluster.build_machine_config(index).props().as_dict()
-            for index in range(self.n_servers)
-        ]
-        if all(s == server_sets[0] for s in server_sets[1:]):
-            # Homogeneous: one set + the count, so key size does not
-            # scale with fleet size (and a 1-entry server_props
-            # spelling of a homogeneous fleet cannot fork the key).
-            servers: object = {"all": server_sets[0]}
+        if not self.server_props:
+            # Homogeneous: one set + the count, so neither key size
+            # nor key *cost* scales with fleet size.
+            servers: object = {
+                "all": cluster.build_machine_config(0).props().as_dict()
+            }
         else:
-            servers = {"each": server_sets}
+            # Resolve each distinct per-server override set once; the
+            # per-server list still collapses when everything matches
+            # (a 1-entry server_props spelling of a homogeneous fleet
+            # cannot fork the key).
+            sets_by_pairs: dict[PropPairs, dict] = {}
+            server_sets = []
+            for index in range(self.n_servers):
+                pairs = cluster.props_for_server(index)
+                resolved = sets_by_pairs.get(pairs)
+                if resolved is None:
+                    resolved = sets_by_pairs[pairs] = (
+                        cluster.build_machine_config(index).props().as_dict()
+                    )
+                server_sets.append(resolved)
+            if all(s == server_sets[0] for s in server_sets[1:]):
+                servers = {"all": server_sets[0]}
+            else:
+                servers = {"each": server_sets}
         payload = {
             "fleet_schema": FLEET_SCHEMA_VERSION,
             **canonical_point(self.scenario, self.qps, self.preset),
@@ -175,7 +218,7 @@ class FleetCell:
             # watermark spelling can never fork the cache key of a
             # physically identical experiment.
             "pack_watermark": (
-                self.cluster().resolved_pack_watermark()
+                cluster.resolved_pack_watermark()
                 if self.routing == "power-aware-pack"
                 else 0
             ),

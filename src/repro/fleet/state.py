@@ -1,0 +1,92 @@
+"""Flat per-server hot state: the fleet's struct-of-arrays.
+
+A fleet's inner loops — the balancer's argmin/watermark scans, the
+park/unpark bookkeeping, the per-server routing tallies — used to walk
+N Python objects per decision. :class:`FleetState` packs that hot
+state into flat numpy arrays owned by
+:class:`~repro.fleet.cluster.FleetMachine`, so a policy decision is a
+single C-level array pass regardless of fleet size and a routing
+policy is a *pure function* of this view (see
+:mod:`repro.fleet.routing`).
+
+The arrays are the authoritative state, not a mirror: the balancer
+increments ``outstanding``/``routed`` here, completion hooks decrement
+here, and the park manager flips ``parked`` here. Everything is plain
+``int64``/``bool`` data, so the cluster checkpoint walker snapshots
+and restores it like any other container (``repro.server.recycle``
+refills ndarrays in place).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FleetState:
+    """Struct-of-arrays of one fleet's per-server hot state.
+
+    Attributes
+    ----------
+    outstanding:
+        In-flight requests per server (routed, not yet completed).
+        Balancer-owned live state: it survives measurement-window
+        resets so window boundaries never double-count requests still
+        in flight.
+    routed:
+        Requests routed per server since the last counter reset
+        (window-scoped measurement).
+    parked:
+        Servers currently detached from the event kernel and advanced
+        analytically (see ``docs/fleet.md``); policies may read it,
+        only the park manager writes it.
+    cursor:
+        The rotation point policies use for cycling/tie-breaking. The
+        balancer advances it to ``chosen + 1`` after every route, so
+        policies themselves stay pure.
+    pack_watermark:
+        Concurrent requests a server absorbs before
+        ``power-aware-pack`` spills to the next one (already resolved:
+        never 0).
+    """
+
+    __slots__ = (
+        "n_servers",
+        "outstanding",
+        "routed",
+        "parked",
+        "cursor",
+        "pack_watermark",
+    )
+
+    def __init__(self, n_servers: int, pack_watermark: int = 1):
+        if n_servers < 1:
+            raise ValueError(f"a fleet needs at least one server, got {n_servers}")
+        if pack_watermark < 1:
+            raise ValueError(
+                f"the resolved pack watermark must be >= 1, got {pack_watermark}"
+            )
+        self.n_servers = n_servers
+        self.outstanding = np.zeros(n_servers, dtype=np.int64)
+        self.routed = np.zeros(n_servers, dtype=np.int64)
+        self.parked = np.zeros(n_servers, dtype=bool)
+        self.cursor = 0
+        self.pack_watermark = pack_watermark
+
+    def reset_counters(self) -> None:
+        """Zero the window-scoped tallies (measurement boundary).
+
+        ``outstanding``, ``parked`` and ``cursor`` are live state, not
+        measurements, and are deliberately left alone.
+        """
+        self.routed[:] = 0
+
+    def parked_count(self) -> int:
+        """Servers currently advanced analytically."""
+        return int(self.parked.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FleetState(n={self.n_servers}, "
+            f"outstanding={self.outstanding.sum()}, "
+            f"parked={self.parked_count()})"
+        )

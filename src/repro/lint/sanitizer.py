@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.sim.sanitize import SanitizerReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.cluster import ClusterConfig
     from repro.server.configs import MachineConfig
     from repro.workloads.base import Workload
 
@@ -77,13 +78,19 @@ def _run_window(
 
 def verify_recycle_roundtrip(
     workload_factory: Callable[[], "Workload"],
-    config: "MachineConfig",
+    config: "MachineConfig | ClusterConfig",
     *,
     seed: int = 0,
     duration_ns: int = 20_000_000,
     priming_seed: int = 1,
 ) -> RoundTripReport:
     """Compare fresh-build and recycled event-stream digests.
+
+    ``config`` selects the unit under test: a
+    :class:`~repro.server.configs.MachineConfig` verifies one server's
+    checkpoint, a :class:`~repro.fleet.cluster.ClusterConfig` verifies
+    the cluster-level walker (shared kernel + meter + N machines as
+    one unit).
 
     ``workload_factory`` must return a *new* workload instance per
     call (workload objects hold per-run state). The priming run uses
@@ -95,10 +102,17 @@ def verify_recycle_roundtrip(
     """
     from repro.server.machine import ServerMachine
 
-    fresh_machine = ServerMachine(config, seed, sanitize=True)
+    def build(run_seed: int) -> Any:
+        if hasattr(config, "n_servers"):  # a ClusterConfig
+            from repro.fleet.cluster import FleetMachine
+
+            return FleetMachine(config, run_seed, sanitize=True)
+        return ServerMachine(config, run_seed, sanitize=True)
+
+    fresh_machine = build(seed)
     fresh = _run_window(fresh_machine, workload_factory(), duration_ns)
 
-    machine = ServerMachine(config, priming_seed, sanitize=True)
+    machine = build(priming_seed)
     machine.checkpoint()
     _run_window(machine, workload_factory(), duration_ns)
     machine.recycle(config, seed)

@@ -219,9 +219,10 @@ class PowerMeter:
         return total
 
     def reset(self) -> None:
-        """Zero every channel's accumulated energy."""
+        """Zero every channel's accumulated energy (one fused pass)."""
+        self.sync_all()
         for channel in self._channels.values():
-            channel.reset()
+            channel._energy_j = 0.0
 
     def average_power_w(self, domain: str | None, window_ns: int) -> float:
         """Average power over a window ending now, given its length."""

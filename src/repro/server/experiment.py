@@ -82,11 +82,12 @@ def run_experiment(
 ) -> ExperimentResult:
     """Run ``workload`` on ``config`` and measure one window.
 
-    The warmup lets queues, governor history and package state reach
-    steady behaviour before meters reset; the measurement window then
-    integrates power and residency exactly (piecewise-constant, no
-    sampling error).
+    The classic driver, kept as a thin wrapper over
+    :func:`repro.api.measure_window`; anything starting from a spec
+    should prefer :func:`repro.api.run_cell`.
     """
+    from repro.api import measure_window
+
     if duration_ns <= 0:
         raise ValueError(f"duration must be positive, got {duration_ns}")
     if warmup_ns < 0:
@@ -106,10 +107,7 @@ def run_experiment(
                 f"machine was built with seed {machine.sim.seed} "
                 f"but the experiment is labelled seed {seed}"
             )
-    workload.start(machine.sim, machine)
-    machine.run_for(warmup_ns)
-    machine.begin_measurement()
-    machine.run_for(duration_ns)
+    measure_window(machine, workload, duration_ns, warmup_ns)
     return collect_result(machine, workload, duration_ns, seed)
 
 

@@ -278,15 +278,21 @@ class ServerMachine:
             self.on_request_complete(request)
 
     # -- measurement windows -----------------------------------------------
-    def begin_measurement(self) -> None:
-        """Zero all meters, counters and traces (end of warmup)."""
-        if self._owns_meter:
-            self.meter.reset()
-        else:
-            # A shared meter carries other machines' channels too;
-            # only this machine's accumulation restarts.
-            for channel in self._channels:
-                channel.reset()
+    def begin_measurement(self, *, reset_channels: bool = True) -> None:
+        """Zero all meters, counters and traces (end of warmup).
+
+        A fleet resets its shared meter in one fused pass and then
+        passes ``reset_channels=False`` so N machines don't each walk
+        their own channel list again.
+        """
+        if reset_channels:
+            if self._owns_meter:
+                self.meter.reset()
+            else:
+                # A shared meter carries other machines' channels too;
+                # only this machine's accumulation restarts.
+                for channel in self._channels:
+                    channel.reset()
         self.latency.reset()
         self.idle_tracker.reset()
         self.active_sampler.reset()

@@ -53,17 +53,20 @@ from collections import deque
 from enum import Enum
 from typing import Any
 
+import numpy as np
+
 from repro.sim.engine import Event, Simulator
 
 #: Immutable value types snapshotted by reference. ``str``-based enums
-#: (e.g. ``DramPowerMode``) are covered by ``str``.
-_SCALARS = (type(None), bool, int, float, str, bytes, complex)
+#: (e.g. ``DramPowerMode``) are covered by ``str``; numpy scalars
+#: (``np.int64`` etc.) by ``np.generic``.
+_SCALARS = (type(None), bool, int, float, str, bytes, complex, np.generic)
 
 #: Types allowed as dict keys / set elements (must be immutable).
 _IMMUTABLE_KEYS = _SCALARS + (tuple, frozenset, Enum)
 
 # Container refill tags.
-_LIST, _DICT, _SET, _DEQUE = range(4)
+_LIST, _DICT, _SET, _DEQUE, _ARRAY = range(5)
 
 
 class CheckpointError(RuntimeError):
@@ -204,6 +207,17 @@ class MachineCheckpoint:
                 self._register_value(item, to_walk)
             self._refills.append((_DEQUE, value, tuple(value)))
             return
+        if isinstance(value, np.ndarray):
+            # Flat numeric hot state (e.g. FleetState's per-server
+            # arrays): restored element-wise into the original buffer
+            # so every view taken at construction time stays valid.
+            if value.dtype == object:
+                raise CheckpointError(
+                    "cannot checkpoint an object-dtype ndarray; use a "
+                    "numeric dtype or a list"
+                )
+            self._refills.append((_ARRAY, value, value.copy()))
+            return
         if _is_repro_object(value) and not isinstance(value, (Simulator, Enum)):
             # Repro component state is walked — before the callable
             # check, so a component that happens to define __call__ is
@@ -250,9 +264,11 @@ class MachineCheckpoint:
             elif tag == _SET:
                 original.clear()
                 original.update(payload)
-            else:  # _DEQUE
+            elif tag == _DEQUE:
                 original.clear()
                 original.extend(payload)
+            else:  # _ARRAY
+                original[:] = payload
         schedule_at = sim.schedule_at
         for time_ns, fn, args in self._replay:
             schedule_at(time_ns, fn, *args)

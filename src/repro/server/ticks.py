@@ -50,11 +50,17 @@ class OsTimerTicks:
         self.ticks_suppressed = 0
         self._timers: list[PeriodicTimer] = []
         self._arm_events: list[Event] = []
+        self._next_fire: list[int] | None = None
 
     @property
     def started(self) -> bool:
         """True while the per-core tick timers are armed."""
         return bool(self._timers)
+
+    @property
+    def suspended(self) -> bool:
+        """True while the tick events are detached from the kernel."""
+        return self._next_fire is not None
 
     def start(self) -> None:
         """Arm one staggered timer per core (like real per-CPU ticks).
@@ -81,6 +87,79 @@ class OsTimerTicks:
         for timer in self._timers:
             timer.stop()
         self._timers.clear()
+        self._next_fire = None
+
+    # -- parked fast path --------------------------------------------------
+    #
+    # On a fully-idle nohz machine every tick fire is suppressed: the
+    # callback bumps ``ticks_suppressed`` and returns, with no model
+    # side effects. The fleet's park manager exploits that — suspend()
+    # pulls the tick events out of the kernel while a server is parked,
+    # and resume()/credit_suppressed() replay the missed grid points in
+    # closed form, so the counters (and every other observable) match
+    # the event-driven run exactly while the kernel never touches the
+    # parked server.
+
+    def suspend(self) -> None:
+        """Detach the tick events from the kernel, remembering the grid.
+
+        Each timer's absolute next-fire time is recorded so resume()
+        can credit the missed fires and rejoin the original firing
+        grid. No-op if not started or already suspended.
+        """
+        if not self._timers or self._next_fire is not None:
+            return
+        next_fire: list[int] = []
+        for timer, arm in zip(self._timers, self._arm_events):
+            if timer.running:
+                assert timer._event is not None
+                next_fire.append(timer._event.time)
+            else:
+                # The staggered arm has not fired yet; the first tick
+                # lands one period after the arm point.
+                next_fire.append(arm.time + self.period_ns)
+            timer.stop()
+        for arm in self._arm_events:
+            arm.cancel()
+        self._next_fire = next_fire
+
+    def credit_suppressed(self) -> None:
+        """Account missed fires up to now without resuming.
+
+        Observation points (meter readouts, result collection) call
+        this so a still-parked server's tick counters read exactly
+        what the event-driven kernel would have accumulated. The cores
+        are idle the whole time a server is parked, so every missed
+        fire is a suppressed one.
+        """
+        if self._next_fire is None:
+            return
+        now = self.sim.now
+        period = self.period_ns
+        for index, timer in enumerate(self._timers):
+            next_fire = self._next_fire[index]
+            if next_fire <= now:
+                missed = (now - next_fire) // period + 1
+                self.ticks_suppressed += missed
+                timer.fire_count += missed
+                self._next_fire[index] = next_fire + missed * period
+
+    def resume(self) -> None:
+        """Re-attach the tick events, crediting fires missed while parked.
+
+        Missed grid points (including one landing exactly now: the
+        waking request's work starts at or after the current instant,
+        so the core is still idle) are credited as suppressed, and each
+        timer re-arms at its next original grid point — the tick
+        stagger survives a park/unpark cycle bit-exactly.
+        """
+        if self._next_fire is None:
+            return
+        self.credit_suppressed()
+        next_fire = self._next_fire
+        self._next_fire = None
+        for timer, time_ns in zip(self._timers, next_fire):
+            timer.start_at(time_ns)
 
     def _make_tick(self, core: Core):
         def fire() -> None:

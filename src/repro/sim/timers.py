@@ -43,6 +43,18 @@ class PeriodicTimer:
         self.stop()
         self._event = self.sim.schedule(self.period_ns, self._fire)
 
+    def start_at(self, time_ns: int) -> None:
+        """Arm the timer to fire next at absolute ``time_ns``.
+
+        Subsequent fires continue every ``period_ns`` after that. This
+        is how a suspended periodic source rejoins its original firing
+        grid: the caller remembers the absolute next-fire time, and
+        re-arming here lands every later fire exactly where an
+        uninterrupted timer would have put it.
+        """
+        self.stop()
+        self._event = self.sim.schedule_at(time_ns, self._fire)
+
     def stop(self) -> None:
         """Disarm the timer."""
         if self._event is not None:

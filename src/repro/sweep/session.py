@@ -12,12 +12,14 @@ charge fixed costs that rival the simulation time of an idle cell.
 * a **persistent worker pool**, created lazily and reused across
   ``run()`` calls (and across benchmark invocations through
   ``benchmarks/_common.py``);
-* **warm machines** — each worker keeps one machine per config and
-  recycles it (:meth:`ServerMachine.recycle`) instead of rebuilding
-  the component graph per cell; recycled runs are byte-identical to
-  fresh builds (pinned by the recycle-vs-fresh golden tests), and
-  configs whose state cannot be checkpointed fall back to fresh
-  builds automatically;
+* **warm runtimes** — each worker keeps one runtime per cell
+  warm-slot and recycles it (``ServerMachine.recycle`` /
+  ``FleetMachine.recycle``) instead of rebuilding the component graph
+  per cell — whole fleets included, so a 1,000-server cluster is
+  restored rather than reconstructed; recycled runs are
+  byte-identical to fresh builds (pinned by the recycle-vs-fresh
+  golden tests), and cells whose state cannot be checkpointed fall
+  back to fresh builds automatically;
 * **batched unordered dispatch** — cells ship in chunks over
   ``imap_unordered``; the deterministic cell order of the returned
   :class:`SweepResults` is reconstructed from cache keys, so results
@@ -41,8 +43,7 @@ import sys
 from time import perf_counter, process_time
 from typing import Callable, Sequence
 
-from repro.server.experiment import ExperimentResult, run_experiment
-from repro.server.machine import ServerMachine
+from repro.server.experiment import ExperimentResult
 from repro.server.recycle import CheckpointError
 from repro.sweep.spec import ExperimentSpec, SweepSpec
 from repro.sweep.store import ResultStore
@@ -63,14 +64,26 @@ def recycling_enabled() -> bool:
 
 
 # -- per-process worker state -------------------------------------------------
-#: One warm machine per (config name, property overrides) pair
-#: (``None`` marks a config whose state cannot be checkpointed: build
-#: fresh every time). Property-hybrid cells get their own slot — two
-#: cells sharing a base config but differing in overrides are
-#: different machines. Lives at module level so both pool workers and
-#: the in-process serial path amortize machine construction the same
-#: way.
-_MACHINES: dict[tuple, ServerMachine | None] = {}
+#: One warm runtime per cell warm-slot (``None`` marks a slot whose
+#: state cannot be checkpointed: build fresh every time). A slot is
+#: whatever :meth:`repro.api.Cell.warm_slot` returns — (config name,
+#: property overrides) for single-machine cells, a ``"fleet"``-tagged
+#: server lineup for fleet cells — so two cells sharing a base config
+#: but differing in overrides are different runtimes. Lives at module
+#: level so both pool workers and the in-process serial path amortize
+#: construction the same way.
+_MACHINES: dict[tuple, object | None] = {}
+
+#: Warm *fleet* runtimes pinned at once. One fleet holds N full
+#: machine graphs, so the open-ended per-config policy that is right
+#: for single machines would hoard memory here; the oldest warm fleet
+#: is evicted once the cap is reached (non-recyclable verdicts are
+#: just markers and don't count).
+_FLEET_SLOTS_MAX = 2
+
+
+def _is_fleet_slot(slot: tuple) -> bool:
+    return bool(slot) and slot[0] == "fleet"
 
 #: Worker-side handles on disk stores, keyed by root path.
 _STORES: dict[str, ResultStore] = {}
@@ -83,28 +96,40 @@ def _worker_store(root: str) -> ResultStore:
     return store
 
 
-def _machine_for(spec: ExperimentSpec) -> ServerMachine:
-    """A machine for ``spec``: recycled when possible, else fresh."""
-    config = spec.build_config()
+def _runtime_for(spec):
+    """A runtime for ``spec``: recycled when possible, else fresh.
+
+    Works for any :class:`repro.api.Cell` — the cell supplies its
+    construction (``build``), its warm-cache key (``warm_slot``) and
+    its restore step (``recycle``); this function only owns the cache
+    policy.
+    """
     if not recycling_enabled():
-        return ServerMachine(config, seed=spec.seed)
-    slot = (spec.config, getattr(spec, "props", ()))
+        return spec.build()
+    slot = spec.warm_slot()
     if slot in _MACHINES:
-        machine = _MACHINES[slot]
-        if machine is None:  # config known to be non-recyclable
-            return ServerMachine(config, seed=spec.seed)
-        machine.recycle(config, spec.seed)
-        return machine
-    machine = ServerMachine(config, seed=spec.seed)
+        runtime = _MACHINES[slot]
+        if runtime is None:  # slot known to be non-recyclable
+            return spec.build()
+        spec.recycle(runtime)
+        return runtime
+    runtime = spec.build()
     try:
-        machine.checkpoint()
+        runtime.checkpoint()
     except CheckpointError:
-        # Remember only the verdict: keeping the machine would pin a
+        # Remember only the verdict: keeping the runtime would pin a
         # full (and soon dirty) component graph per worker for nothing.
         _MACHINES[slot] = None
-        return machine
-    _MACHINES[slot] = machine
-    return machine
+        return runtime
+    if _is_fleet_slot(slot):
+        warm_fleets = [
+            s for s, r in _MACHINES.items()
+            if _is_fleet_slot(s) and r is not None
+        ]
+        if len(warm_fleets) >= _FLEET_SLOTS_MAX:
+            del _MACHINES[warm_fleets[0]]
+    _MACHINES[slot] = runtime
+    return runtime
 
 
 def clear_warm_machines() -> None:
@@ -141,23 +166,20 @@ def _cell_task(payload):
         # wall clock charges descheduled time to whichever cell was
         # in flight, which would garble the build/simulate split.
         build_start = process_time()
-        simulate = getattr(spec, "simulate", None)
-        if simulate is not None:
-            # Self-simulating cells (the fleet's) own their whole
-            # build+measure flow; no warm-machine reuse applies.
-            sim_start = build_start
-            result = simulate()
-        else:
-            machine = _machine_for(spec)
+        if hasattr(spec, "collect"):
+            # The cell protocol (repro.api.Cell): every first-party
+            # cell kind — single-machine and fleet — dispatches here,
+            # with warm-runtime reuse for both.
+            from repro.api import run_cell
+
+            runtime = _runtime_for(spec)
             sim_start = process_time()
-            result = run_experiment(
-                spec.build_workload(),
-                machine.config,
-                duration_ns=spec.duration_ns,
-                warmup_ns=spec.warmup_ns,
-                seed=spec.seed,
-                machine=machine,
-            )
+            result = run_cell(spec, runtime=runtime)
+        else:
+            # Legacy self-simulating cells own their whole
+            # build+measure flow; no warm reuse applies.
+            sim_start = build_start
+            result = spec.simulate()
         done = process_time()
         if store is not None:
             store.put(key, result, spec=spec)

@@ -15,13 +15,17 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.props import PropertySet, apply_props, get_prop, render_overrides
 from repro.scenarios import registry as scenarios
 from repro.server.configs import MachineConfig, config_by_name
 from repro.units import MS
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:
+    from repro.server.experiment import ExperimentResult
+    from repro.server.machine import ServerMachine
 
 #: Bump when the cell schema or measurement semantics change, so stale
 #: cache entries from an incompatible layout can never be returned.
@@ -330,6 +334,29 @@ class ExperimentSpec:
             cached = resolved_machine_props(self.config, self.props)
             object.__setattr__(self, "_resolved_props", cached)
         return cached
+
+    # -- cell protocol (repro.api) -----------------------------------------
+    def build(self) -> "ServerMachine":
+        """Construct a fresh machine for this cell."""
+        from repro.server.machine import ServerMachine
+
+        return ServerMachine(self.build_config(), seed=self.seed)
+
+    def warm_slot(self) -> tuple[str, PropPairs]:
+        """Warm-reuse key: one machine per (config, overrides) pair."""
+        return (self.config, self.props)
+
+    def recycle(self, runtime: "ServerMachine") -> None:
+        """Rewind a checkpointed machine into this cell's fresh state."""
+        runtime.recycle(self.build_config(), self.seed)
+
+    def collect(
+        self, runtime: "ServerMachine", workload: Workload
+    ) -> "ExperimentResult":
+        """Assemble the result from a measured machine."""
+        from repro.server.experiment import collect_result
+
+        return collect_result(runtime, workload, self.duration_ns, self.seed)
 
     @property
     def preset_label(self) -> str:

@@ -142,7 +142,7 @@ class TestRouting:
     def test_round_robin_spreads_evenly(self):
         fleet = FleetMachine(small_cluster("round-robin", n=4), seed=1)
         self.route_n(fleet, 8)
-        assert fleet.balancer.routed == [2, 2, 2, 2]
+        assert list(fleet.balancer.routed) == [2, 2, 2, 2]
 
     def test_pack_fills_lowest_servers_first(self):
         fleet = FleetMachine(small_cluster("power-aware-pack", n=4), seed=1)
@@ -150,7 +150,7 @@ class TestRouting:
         # All requests complete fast relative to injection: everything
         # lands on server 0, the rest of the fleet never wakes.
         assert fleet.balancer.routed[0] == 6
-        assert fleet.balancer.routed[1:] == [0, 0, 0]
+        assert list(fleet.balancer.routed[1:]) == [0, 0, 0]
 
     def test_pack_spills_at_the_watermark(self):
         fleet = FleetMachine(
@@ -174,7 +174,7 @@ class TestRouting:
     def test_outstanding_returns_to_zero_after_completion(self):
         fleet = FleetMachine(small_cluster(n=2), seed=1)
         self.route_n(fleet, 4)
-        assert fleet.balancer.outstanding == [0, 0]
+        assert list(fleet.balancer.outstanding) == [0, 0]
 
     def test_dispatch_latency_is_in_end_to_end_latency(self):
         slow = ClusterConfig(machine="CPC1A", n_servers=1, dispatch_latency_ns=100 * US)

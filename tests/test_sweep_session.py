@@ -343,24 +343,24 @@ class TestWorkerStoreShortCircuit:
 
 class TestWorkerExceptions:
     def test_failure_names_the_cell(self, monkeypatch):
-        import repro.sweep.session as session_module
+        import repro.api as api_module
 
         def boom(*args, **kwargs):
             raise RuntimeError("injected failure")
 
-        monkeypatch.setattr(session_module, "run_experiment", boom)
+        monkeypatch.setattr(api_module, "run_cell", boom)
         spec = short_grid(rates=(0,), configs=("CPC1A",), seeds=(5,))
         with SweepSession(workers=1) as session:
             with pytest.raises(SweepCellError, match=r"CPC1A/idle/seed5"):
                 session.run(spec)
 
     def test_wrapped_error_keeps_original_message(self, monkeypatch):
-        import repro.sweep.session as session_module
+        import repro.api as api_module
 
         def boom(*args, **kwargs):
             raise ValueError("the original reason")
 
-        monkeypatch.setattr(session_module, "run_experiment", boom)
+        monkeypatch.setattr(api_module, "run_cell", boom)
         with SweepSession(workers=1) as session:
             with pytest.raises(SweepCellError, match="the original reason"):
                 session.run(short_grid(rates=(0,), configs=("CPC1A",), seeds=(1,)))
@@ -370,7 +370,7 @@ class TestNonRecyclableFallback:
     def test_verdict_is_memoized_per_config(self, monkeypatch):
         """A config whose checkpoint fails is probed once; later cells
         build fresh without re-walking the machine graph."""
-        from repro.sweep.session import _machine_for
+        from repro.sweep.session import _runtime_for
 
         clear_warm_machines()
         attempts = []
@@ -384,8 +384,8 @@ class TestNonRecyclableFallback:
             workload="idle", qps=0.0, preset="low", config="CPC1A",
             seed=1, duration_ns=3 * MS, warmup_ns=1 * MS,
         )
-        first = _machine_for(spec)
-        second = _machine_for(spec)
+        first = _runtime_for(spec)
+        second = _runtime_for(spec)
         assert first is not second  # fresh build per cell
         assert attempts == [1]  # the verdict was remembered
         clear_warm_machines()
