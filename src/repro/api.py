@@ -44,12 +44,14 @@ if TYPE_CHECKING:
 
 __all__ = [
     "Cell",
+    "CellPolicy",
     "CellRuntime",
     "ExperimentResult",
     "ExperimentSpec",
     "FleetCell",
     "FleetResult",
     "FleetSpec",
+    "RunJournal",
     "SweepSession",
     "SweepSpec",
     "measure_window",
@@ -166,11 +168,19 @@ def run_cell(cell: Cell, *, runtime: CellRuntime | None = None) -> Any:
 
 
 def __getattr__(name: str) -> Any:
-    # SweepSession is re-exported lazily: repro.sweep.session imports
-    # this module inside its task loop, and a top-level import here
-    # would close that cycle at import time.
+    # Session-layer names are re-exported lazily: repro.sweep.session
+    # imports this module inside its task loop, and a top-level import
+    # here would close that cycle at import time.
     if name == "SweepSession":
         from repro.sweep.session import SweepSession
 
         return SweepSession
+    if name == "CellPolicy":
+        from repro.sweep.supervisor import CellPolicy
+
+        return CellPolicy
+    if name == "RunJournal":
+        from repro.sweep.journal import RunJournal
+
+        return RunJournal
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

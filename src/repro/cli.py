@@ -11,6 +11,7 @@ Commands
 ``sweep``     run a scenario x config x rate x seed grid in parallel;
 ``fleet``     sweep multi-server clusters (routing x config x rate);
 ``props``     inspect the platform-property registry (list/info);
+``store``     result-store maintenance (``verify`` / ``gc``);
 ``scenarios`` list the registered traffic scenarios;
 ``validate``  fast end-to-end check of the headline paper anchors;
 ``lint``      static determinism/checkpoint-safety analysis (RPR rules).
@@ -53,10 +54,24 @@ them as a first-class sweep axis::
     python -m repro fleet --set fleet.n_servers=2,8 --set governor=menu
 
 ``--stats-json`` writes a machine-readable run summary (cells, cache
-hits/misses, rows) for CI assertions. ``--progress``/``--no-progress``
-controls the throttled per-cell progress lines on stderr (default:
-only when stderr is a TTY; at most ~1 line per second however wide
-the grid is).
+hits/misses, rows, fault counters) for CI assertions.
+``--progress``/``--no-progress`` controls the throttled per-cell
+progress lines on stderr (default: only when stderr is a TTY; at most
+~1 line per second however wide the grid is).
+
+Robustness
+----------
+Sweeps run on a supervised execution plane (``docs/robustness.md``):
+dead workers respawn, failing cells retry under
+``--max-retries``/``--retry-backoff``, stuck cells are killed past
+``--cell-deadline``, and cells that exhaust their budget are
+quarantined (report written beside the CSV; exit code 1) while the
+rest of the grid completes. With ``--store``, a crash-safe journal
+records completed cells so ``--resume`` finishes an interrupted
+campaign without re-simulating finished work; Ctrl-C flushes the
+partial CSV durably and exits 130. ``repro store verify`` / ``repro
+store gc`` audit and clean a store whose records may have been torn
+by crashes.
 """
 
 from __future__ import annotations
@@ -86,8 +101,11 @@ from repro.props import (
 from repro.server.configs import CONFIG_BUILDERS, config_by_name
 from repro.server.experiment import ExperimentResult, run_experiment
 from repro.sweep import (
+    CellPolicy,
     ExperimentSpec,
+    JournalError,
     ResultStore,
+    RunJournal,
     StreamingCsvWriter,
     SweepSession,
     SweepSpec,
@@ -170,6 +188,105 @@ def _add_progress_flag(parser: argparse.ArgumentParser) -> None:
         "--no-progress", action="store_false", dest="progress",
         help="suppress per-cell progress output",
     )
+
+
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells journaled by a previous run of this store "
+             "(requires --store; the journal lives beside it)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="extra attempts per cell before quarantine (default 3)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base delay before a retry, doubling per attempt (default 0.05)",
+    )
+    parser.add_argument(
+        "--cell-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget; a stuck cell's worker is "
+             "killed and the cell retried (default: no deadline)",
+    )
+    parser.add_argument(
+        "--quarantine-report", default=None, metavar="PATH",
+        help="where to write the quarantine report when cells exhaust "
+             "their retries (default: <out>.quarantine.json)",
+    )
+
+
+def _cell_policy(args: argparse.Namespace) -> CellPolicy:
+    try:
+        return CellPolicy(
+            max_retries=args.max_retries,
+            retry_backoff_s=args.retry_backoff,
+            deadline_s=args.cell_deadline,
+        )
+    except ValueError as error:
+        raise SystemExit(f"invalid retry policy: {error}") from None
+
+
+def _open_journal(args: argparse.Namespace, store) -> RunJournal | None:
+    """The run journal for this sweep (``<store>/journal.jsonl``).
+
+    Without a store there is nothing to resume from (results would be
+    re-simulated regardless), so no journal is kept and ``--resume``
+    is rejected.
+    """
+    if store is None:
+        if args.resume:
+            raise SystemExit(
+                "--resume requires --store (completed cells are "
+                "served from the store; the journal lives beside it)"
+            )
+        return None
+    try:
+        return RunJournal(
+            Path(store.root) / "journal.jsonl", resume=args.resume
+        )
+    except JournalError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _quarantine_report_path(args: argparse.Namespace) -> Path:
+    if args.quarantine_report:
+        return Path(args.quarantine_report)
+    return Path(f"{args.out}.quarantine.json")
+
+
+def _handle_quarantined(args: argparse.Namespace, results) -> int:
+    """Write the quarantine report; nonzero exit when cells were lost."""
+    if not results.quarantined:
+        return 0
+    report_path = _quarantine_report_path(args)
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(json.dumps({
+        "quarantined": [cell.as_dict() for cell in results.quarantined],
+    }, indent=1, sort_keys=True) + "\n")
+    print(
+        f"WARNING: {len(results.quarantined)} cell(s) quarantined after "
+        f"exhausting retries; report written to {report_path}",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _interrupt_summary(
+    args: argparse.Namespace, writer, journal, total: int, store
+) -> int:
+    """Ctrl-C: make partial output durable and report what remains."""
+    completed = writer.rows
+    writer.close()
+    if journal is not None:
+        journal.close()
+    hint = " (finish with --resume)" if store is not None else ""
+    print(
+        f"interrupted: {completed}/{total} row(s) durable in {args.out}; "
+        f"{max(0, total - completed)} cell(s) remaining{hint}",
+        file=sys.stderr,
+    )
+    return 130
 
 
 def _resolve_workers(workers: int) -> int:
@@ -584,20 +701,32 @@ def cmd_props(args: argparse.Namespace) -> int:
 
 
 def _write_stats_json(
-    args: argparse.Namespace, results, total: int, workers: int, rows: int
+    args: argparse.Namespace, results, total: int, workers: int, rows: int,
+    run_stats: dict | None = None,
 ) -> None:
     """Persist machine-readable run accounting for CI assertions."""
     unique = len({cell.key() for cell in results.cells})
+    run_stats = run_stats or {}
+    quarantined = len(results.quarantined)
     stats_path = Path(args.stats_json)
     stats_path.parent.mkdir(parents=True, exist_ok=True)
     stats_path.write_text(json.dumps({
         "cells": total,
-        "unique_cells": unique,
+        "unique_cells": unique + quarantined,
         "cache_hits": results.cache_hits,
-        "cache_misses": unique - results.cache_hits,
+        "cache_misses": unique + quarantined - results.cache_hits,
         "workers": workers,
         "rows": rows,
         "csv": str(args.out),
+        # Fault-tolerance counters (see docs/robustness.md).
+        "simulated": run_stats.get("simulated", 0),
+        "retries": run_stats.get("retries", 0),
+        "requeues": run_stats.get("requeues", 0),
+        "deadline_kills": run_stats.get("deadline_kills", 0),
+        "worker_deaths": run_stats.get("worker_deaths", 0),
+        "respawns": run_stats.get("respawns", 0),
+        "quarantined": quarantined,
+        "journal_skipped": run_stats.get("journal_skipped", 0),
     }, indent=1, sort_keys=True) + "\n")
     print(f"wrote run stats to {stats_path}")
 
@@ -628,25 +757,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid sweep grid: {error}") from None
     workers = _resolve_workers(args.workers)
     store = ResultStore(args.store) if args.store else None
+    journal = _open_journal(args, store)
     # Stream rows as cells complete (in deterministic cell order, so
     # the CSV is byte-identical to a buffered write) instead of
     # holding the whole grid's results before the first row lands.
-    with SweepSession(workers=workers) as session, \
-            StreamingCsvWriter(args.out) as writer:
-        results = session.run(
-            spec,
-            store=store,
-            progress=_progress_for(args, len(spec)),
-            on_result=lambda cell, result, cached: writer.write(result, spec=cell),
-        )
-        count = writer.rows
+    try:
+        with SweepSession(workers=workers, policy=_cell_policy(args)) as session, \
+                StreamingCsvWriter(args.out) as writer:
+            try:
+                results = session.run(
+                    spec,
+                    store=store,
+                    progress=_progress_for(args, len(spec)),
+                    on_result=lambda cell, result, cached: writer.write(
+                        result, spec=cell),
+                    journal=journal,
+                )
+            except KeyboardInterrupt:
+                return _interrupt_summary(args, writer, journal, len(spec), store)
+            count = writer.rows
+    finally:
+        if journal is not None:
+            journal.close()
     print(
         f"swept {len(spec)} cells on {workers} worker(s); "
         f"{results.cache_hits} cache hit(s)"
     )
     print(f"wrote {count} rows to {args.out}")
     if args.stats_json:
-        _write_stats_json(args, results, len(spec), workers, count)
+        _write_stats_json(args, results, len(spec), workers, count,
+                          run_stats=session.last_run_stats)
+    exit_code = _handle_quarantined(args, results)
     rows = [
         [
             agg.config,
@@ -664,7 +805,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
          "power (W)", "mean lat (us)", "PC1A res"],
         rows,
     ))
-    return 0
+    return exit_code
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -727,24 +868,37 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid fleet grid: {error}") from None
     workers = _resolve_workers(args.workers)
     store = ResultStore(args.store) if args.store else None
-    with SweepSession(workers=workers) as session, \
-            StreamingCsvWriter(
-                args.out, columns=FLEET_CSV_COLUMNS, flatten=flatten_fleet_result
-            ) as writer:
-        results = session.run(
-            spec.cells(),
-            store=store,
-            progress=_progress_for(args, len(spec)),
-            on_result=lambda cell, result, cached: writer.write(result, spec=cell),
-        )
-        count = writer.rows
+    journal = _open_journal(args, store)
+    try:
+        with SweepSession(workers=workers, policy=_cell_policy(args)) as session, \
+                StreamingCsvWriter(
+                    args.out, columns=FLEET_CSV_COLUMNS,
+                    flatten=flatten_fleet_result
+                ) as writer:
+            try:
+                results = session.run(
+                    spec.cells(),
+                    store=store,
+                    progress=_progress_for(args, len(spec)),
+                    on_result=lambda cell, result, cached: writer.write(
+                        result, spec=cell),
+                    journal=journal,
+                )
+            except KeyboardInterrupt:
+                return _interrupt_summary(args, writer, journal, len(spec), store)
+            count = writer.rows
+    finally:
+        if journal is not None:
+            journal.close()
     print(
         f"swept {len(spec)} fleet cells on {workers} worker(s); "
         f"{results.cache_hits} cache hit(s)"
     )
     print(f"wrote {count} rows to {args.out}")
     if args.stats_json:
-        _write_stats_json(args, results, len(spec), workers, count)
+        _write_stats_json(args, results, len(spec), workers, count,
+                          run_stats=session.last_run_stats)
+    exit_code = _handle_quarantined(args, results)
     rows = [
         [
             result.config_name,
@@ -765,6 +919,37 @@ def cmd_fleet(args: argparse.Namespace) -> int:
          "fleet power", "p99", "PC1A res", "active"],
         rows,
     ))
+    return exit_code
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Maintain a result store: checksum-verify records, collect garbage.
+
+    ``verify`` re-reads every record, checks its checksum and decodes
+    it; corrupt records are moved into ``<store>/quarantine/`` (unless
+    ``--no-quarantine``) so the next sweep re-simulates those cells.
+    ``gc`` deletes quarantined records and orphaned temp files.
+    """
+    root = Path(args.root)
+    if not root.is_dir():
+        raise SystemExit(f"not a store directory: {root}")
+    store = ResultStore(root)
+    if args.store_cmd == "verify":
+        report = store.verify(quarantine=not args.no_quarantine)
+        print(
+            f"checked {report['checked']} record(s): {report['ok']} ok "
+            f"({report['legacy']} legacy, no checksum), "
+            f"{len(report['corrupt'])} corrupt"
+        )
+        for entry in report["corrupt"]:
+            action = "reported" if args.no_quarantine else "quarantined"
+            print(f"  {action}: {entry['file']}: {entry['error']}")
+        return 1 if report["corrupt"] else 0
+    removed = store.gc()
+    print(
+        f"removed {removed['quarantine_removed']} quarantined record(s) "
+        f"and {removed['tmp_removed']} orphaned temp file(s)"
+    )
     return 0
 
 
@@ -959,6 +1144,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_set_flag(sweep_parser)
     _add_progress_flag(sweep_parser)
+    _add_robustness_flags(sweep_parser)
     sweep_parser.set_defaults(fn=cmd_sweep)
 
     fleet_parser = sub.add_parser(
@@ -1032,6 +1218,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_set_flag(fleet_parser, fleet=True)
     _add_progress_flag(fleet_parser)
+    _add_robustness_flags(fleet_parser)
     fleet_parser.set_defaults(fn=cmd_fleet)
 
     props_parser = sub.add_parser(
@@ -1052,6 +1239,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     props_info.add_argument("name", help="property name (e.g. timer_tick_hz)")
     props_info.set_defaults(fn=cmd_props)
+
+    store_parser = sub.add_parser(
+        "store",
+        help="result-store maintenance (verify / gc)",
+        description="Audit and clean a sweep result store: 'verify' "
+                    "checksum-checks every record (quarantining corrupt "
+                    "ones), 'gc' deletes quarantined records and orphaned "
+                    "temp files. See docs/robustness.md.",
+    )
+    store_sub = store_parser.add_subparsers(dest="store_cmd", required=True)
+    store_verify = store_sub.add_parser(
+        "verify", help="checksum-verify every record in a store"
+    )
+    store_verify.add_argument("root", help="store directory")
+    store_verify.add_argument(
+        "--no-quarantine", action="store_true",
+        help="report corrupt records without moving them aside",
+    )
+    store_verify.set_defaults(fn=cmd_store)
+    store_gc = store_sub.add_parser(
+        "gc", help="delete quarantined records and orphaned temp files"
+    )
+    store_gc.add_argument("root", help="store directory")
+    store_gc.set_defaults(fn=cmd_store)
 
     scenarios_parser = sub.add_parser(
         "scenarios", help="list the registered traffic scenarios"
@@ -1102,7 +1313,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     lint_parser.set_defaults(fn=cmd_lint)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # Commands with partial output to salvage (sweep) catch the
+        # interrupt themselves; everything else still exits 130
+        # cleanly instead of dying mid-print with a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

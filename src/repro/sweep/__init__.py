@@ -22,10 +22,17 @@ this package turns "one figure" into data:
   alive across runs (the high-throughput entry point for benchmarks
   and the CLI);
 - :class:`ResultStore` caches results under content-hash keys, making
-  re-runs of unchanged cells instant;
+  re-runs of unchanged cells instant (reads are checksum-verified;
+  corrupt records are quarantined and re-simulated);
+- :class:`SweepSupervisor` + :class:`CellPolicy` make the execution
+  plane fault-tolerant: dead workers respawn, stuck cells get killed
+  and retried, exhausted cells are quarantined
+  (:class:`QuarantinedCell`), and :class:`RunJournal` makes a
+  long campaign resumable after SIGKILL (``repro sweep --resume``);
 - :func:`aggregate_over_seeds` folds per-seed repeats into mean/CI.
 """
 
+from repro.sweep import chaos
 from repro.sweep.aggregate import (
     AGGREGATED_METRICS,
     CellAggregate,
@@ -39,6 +46,7 @@ from repro.sweep.runner import (
     run_cell,
     run_sweep,
 )
+from repro.sweep.journal import JOURNAL_SCHEMA, JournalError, RunJournal
 from repro.sweep.session import (SweepCellError, SweepSession, recycling_enabled)
 from repro.sweep.spec import (
     ExperimentSpec,
@@ -59,30 +67,46 @@ from repro.sweep.store import (
     CSV_COLUMNS,
     MemoryStore,
     ResultStore,
+    StoreCorruption,
     StreamingCsvWriter,
     flatten_result,
     result_from_dict,
     result_to_dict,
     write_csv,
 )
+from repro.sweep.supervisor import (
+    CellPolicy,
+    QuarantinedCell,
+    QuarantineExhausted,
+    SweepSupervisor,
+)
 
 __all__ = [
     "AGGREGATED_METRICS",
     "CSV_COLUMNS",
     "CellAggregate",
+    "CellPolicy",
     "ExperimentSpec",
+    "JOURNAL_SCHEMA",
+    "JournalError",
     "MemoryStore",
     "MetricStats",
     "PropPairs",
     "PropValue",
+    "QuarantineExhausted",
+    "QuarantinedCell",
     "ResultStore",
+    "RunJournal",
+    "StoreCorruption",
     "StreamingCsvWriter",
     "SweepCellError",
     "SweepResults",
     "SweepRunner",
     "SweepSession",
     "SweepSpec",
+    "SweepSupervisor",
     "WorkloadPoint",
+    "chaos",
     "aggregate_over_seeds",
     "config_axis_label",
     "default_workers",

@@ -1,0 +1,161 @@
+"""Deterministic fault injection for the sweep execution plane.
+
+The supervisor (:mod:`repro.sweep.supervisor`) claims a chaos-ridden
+sweep finishes with the same bytes as a fault-free one. This module is
+how that claim stays testable: ``REPRO_CHAOS`` turns on *seeded*
+probabilistic faults at the exact boundaries real failures hit —
+worker processes dying mid-cell, cells raising, cells stalling past
+their deadline, and store records torn mid-write — so tests and CI
+can drive the whole retry/requeue/quarantine machinery without
+patching internals or depending on timing luck.
+
+Syntax (comma-separated ``knob=value`` pairs)::
+
+    REPRO_CHAOS="seed=7,kill=0.05,fault=0.05,stall=0.02,stall_s=1.5,torn=0.1"
+
+Knobs: ``seed`` (int, default 0), ``kill``/``fault``/``stall``/
+``torn`` (per-attempt probabilities in [0, 1], default 0), and
+``stall_s`` (stall duration in seconds, default 2.0).
+
+Every decision is a pure function of ``(seed, fault kind, cell key,
+attempt)`` — no RNG state, no wall clock — so a given cell fails on
+exactly the same attempts in every run, on any worker, under any
+scheduling. That is what makes "SIGKILL the worker on attempt 1,
+succeed on attempt 2" a *pinnable* test scenario rather than a flake.
+
+Injection points:
+
+* ``kill``  — the worker calls ``os._exit(137)`` at cell start
+  (worker processes only: the serial in-process path never kills the
+  parent);
+* ``stall`` — the cell sleeps ``stall_s`` before simulating, tripping
+  any configured per-cell deadline;
+* ``fault`` — the cell raises :class:`ChaosError` (a transient,
+  retryable failure);
+* ``torn``  — :meth:`~repro.sweep.store.ResultStore.put` writes a
+  truncated record straight to the final path, bypassing its atomic
+  tmp-then-replace dance — the on-disk corruption a crash mid-write
+  would leave, which checksum-verified reads must quarantine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, fields
+
+ENV_VAR = "REPRO_CHAOS"
+
+#: Knobs that are probabilities (validated to [0, 1]).
+_PROB_KNOBS = ("kill", "fault", "stall", "torn")
+
+
+class ChaosError(RuntimeError):
+    """An injected (transient) cell failure."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed ``REPRO_CHAOS`` settings; all-zero means inactive."""
+
+    seed: int = 0
+    kill: float = 0.0
+    fault: float = 0.0
+    stall: float = 0.0
+    torn: float = 0.0
+    stall_s: float = 2.0
+
+    @property
+    def active(self) -> bool:
+        return any(getattr(self, knob) > 0 for knob in _PROB_KNOBS)
+
+
+#: The inactive configuration (no env var set).
+INACTIVE = ChaosConfig()
+
+
+def parse_chaos(spec: str) -> ChaosConfig:
+    """Parse a ``REPRO_CHAOS`` value; raises ``ValueError`` on junk."""
+    values: dict[str, float | int] = {}
+    known = {f.name for f in fields(ChaosConfig)}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, raw = part.partition("=")
+        name = name.strip()
+        if not sep or name not in known:
+            raise ValueError(
+                f"bad REPRO_CHAOS entry {part!r}; knobs are "
+                f"{sorted(known)} (e.g. seed=7,kill=0.05)"
+            )
+        try:
+            values[name] = int(raw) if name == "seed" else float(raw)
+        except ValueError:
+            raise ValueError(
+                f"bad REPRO_CHAOS value for {name}: {raw!r}"
+            ) from None
+    for knob in _PROB_KNOBS:
+        prob = values.get(knob, 0.0)
+        if not 0.0 <= float(prob) <= 1.0:
+            raise ValueError(
+                f"REPRO_CHAOS {knob} must be a probability in [0, 1], "
+                f"got {prob}"
+            )
+    return ChaosConfig(**values)  # type: ignore[arg-type]
+
+
+#: One-slot parse cache keyed by the raw env value, so the per-cell
+#: hot path never re-parses but env changes (tests) take effect.
+_cache: tuple[str | None, ChaosConfig] = (None, INACTIVE)
+
+
+def config() -> ChaosConfig:
+    """The active chaos configuration (parsed from ``REPRO_CHAOS``)."""
+    global _cache
+    raw = os.environ.get(ENV_VAR)
+    if raw == _cache[0]:
+        return _cache[1]
+    cfg = INACTIVE if not raw else parse_chaos(raw)
+    _cache = (raw, cfg)
+    return cfg
+
+
+def _roll(cfg: ChaosConfig, kind: str, key: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one fault decision."""
+    digest = hashlib.sha256(
+        f"{cfg.seed}:{kind}:{key}:{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def on_cell_start(key: str, attempt: int) -> None:
+    """Fault-injection hook at the top of every cell attempt.
+
+    Order matters: a kill beats a stall beats a fault, so one attempt
+    suffers at most one injected failure mode and the decision stays
+    reproducible.
+    """
+    cfg = config()
+    if not cfg.active:
+        return
+    if cfg.kill and _in_worker() and _roll(cfg, "kill", key, attempt) < cfg.kill:
+        # The abrupt death of a real SIGKILL/OOM: no cleanup, no
+        # queue message, no exit handlers.
+        os._exit(137)
+    if cfg.stall and _roll(cfg, "stall", key, attempt) < cfg.stall:
+        time.sleep(cfg.stall_s)
+    if cfg.fault and _roll(cfg, "fault", key, attempt) < cfg.fault:
+        raise ChaosError(f"injected chaos fault (cell {key[:12]}, attempt {attempt})")
+
+
+def torn_write(key: str) -> bool:
+    """Whether the store should tear this key's record on write."""
+    cfg = config()
+    return bool(cfg.torn) and _roll(cfg, "torn", key, 1) < cfg.torn

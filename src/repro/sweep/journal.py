@@ -1,0 +1,126 @@
+"""Crash-safe run journal: which cells of a sweep are already done.
+
+A :class:`RunJournal` is an append-only JSONL file living beside the
+:class:`~repro.sweep.store.ResultStore` (``<store>/journal.jsonl``).
+The session appends one line per *completed* cell key, flushed
+immediately, so the set of finished work is durable against SIGKILL
+of the parent at any instant — the worst case is one torn final line,
+which the loader skips. ``repro sweep --resume`` reads the journal
+back and the run then re-simulates only unjournaled cells (the
+results themselves are served from the store; the journal contributes
+the "this run already finished that cell" accounting surfaced as
+``journal_skipped`` in ``--stats-json``).
+
+Format: a header line ``{"journal": "repro-sweep", "schema": 1}``
+followed by one ``{"key": ..., "label": ...}`` object per completed
+cell. The schema version gates resumability — a journal written by an
+incompatible future format refuses to resume rather than silently
+skipping the wrong cells.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+#: Bump on incompatible line-format changes.
+JOURNAL_SCHEMA = 1
+
+_HEADER_TAG = "repro-sweep"
+
+
+class JournalError(ValueError):
+    """The journal exists but cannot be resumed from."""
+
+
+class RunJournal:
+    """Append-only completion log for one sweep campaign.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file. Parent directories are created.
+    resume:
+        ``True`` loads previously journaled keys (tolerating a torn
+        final line) and appends; ``False`` truncates — a fresh
+        campaign starts with an empty journal.
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._seen: set[str] = set()
+        if resume and self.path.exists():
+            self._seen = self._load()
+        self._handle: IO[str] = open(
+            self.path, "a" if resume else "w", encoding="utf-8"
+        )
+        if not resume or self._handle.tell() == 0:
+            self._append({"journal": _HEADER_TAG, "schema": JOURNAL_SCHEMA})
+
+    def _load(self) -> set[str]:
+        """Journaled keys; skips torn/garbage lines, checks the schema."""
+        keys: set[str] = set()
+        with open(self.path, encoding="utf-8") as handle:
+            for index, line in enumerate(handle):
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # A torn line (SIGKILL mid-append) or stray bytes:
+                    # the cell simply does not count as finished.
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                if index == 0 or "journal" in record:
+                    if (
+                        record.get("journal") != _HEADER_TAG
+                        or record.get("schema") != JOURNAL_SCHEMA
+                    ):
+                        raise JournalError(
+                            f"cannot resume from {self.path}: not a "
+                            f"schema-{JOURNAL_SCHEMA} sweep journal "
+                            f"(header {record})"
+                        )
+                    continue
+                key = record.get("key")
+                if isinstance(key, str):
+                    keys.add(key)
+        return keys
+
+    def _append(self, record: dict) -> None:
+        # One write() call per line plus an immediate flush: an append
+        # either lands whole in the OS page cache (surviving any
+        # process death) or shows up as a torn final line the loader
+        # discards.
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    @property
+    def completed(self) -> frozenset[str]:
+        """Keys journaled so far (including lines loaded on resume)."""
+        return frozenset(self._seen)
+
+    def record(self, key: str, label: str = "") -> None:
+        """Journal one completed cell (idempotent per key)."""
+        if key in self._seen or self._handle.closed:
+            return
+        self._append({"key": key, "label": label})
+        self._seen.add(key)
+
+    def close(self) -> None:
+        """Flush and close (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._seen

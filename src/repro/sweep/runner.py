@@ -64,17 +64,27 @@ def _run_cell_keyed(spec: ExperimentSpec) -> tuple[str, ExperimentResult]:
 
 
 class SweepResults:
-    """Ordered results of one sweep run, with cell-wise lookup."""
+    """Ordered results of one sweep run, with cell-wise lookup.
+
+    ``cells`` and ``results`` are aligned and cover the cells that
+    *completed*; cells that exhausted their retry budget under the
+    session's :class:`~repro.sweep.supervisor.CellPolicy` appear on
+    ``quarantined`` (as
+    :class:`~repro.sweep.supervisor.QuarantinedCell` records, with
+    their label and per-attempt failure history) instead.
+    """
 
     def __init__(
         self,
         cells: Sequence[ExperimentSpec],
         results: Sequence[ExperimentResult],
         cache_hits: int = 0,
+        quarantined: Sequence | None = None,
     ):
         self.cells = list(cells)
         self.results = list(results)
         self.cache_hits = cache_hits
+        self.quarantined = list(quarantined) if quarantined is not None else []
 
     def __iter__(self):
         return iter(self.results)

@@ -9,9 +9,15 @@ charge fixed costs that rival the simulation time of an idle cell.
 
 :class:`SweepSession` owns those fixed costs once:
 
-* a **persistent worker pool**, created lazily and reused across
-  ``run()`` calls (and across benchmark invocations through
-  ``benchmarks/_common.py``);
+* a **persistent supervised worker fleet**
+  (:class:`~repro.sweep.supervisor.SweepSupervisor`), created lazily
+  and reused across ``run()`` calls (and across benchmark invocations
+  through ``benchmarks/_common.py``); the supervisor tracks the
+  in-flight cell per worker PID, so worker death, stuck cells, and
+  transient cell failures are retried under the session's
+  :class:`~repro.sweep.supervisor.CellPolicy` and — past the retry
+  budget — quarantined, letting the sweep degrade gracefully to
+  completion instead of aborting (see ``docs/robustness.md``);
 * **warm runtimes** — each worker keeps one runtime per cell
   warm-slot and recycles it (``ServerMachine.recycle`` /
   ``FleetMachine.recycle``) instead of rebuilding the component graph
@@ -20,10 +26,11 @@ charge fixed costs that rival the simulation time of an idle cell.
   byte-identical to fresh builds (pinned by the recycle-vs-fresh
   golden tests), and cells whose state cannot be checkpointed fall
   back to fresh builds automatically;
-* **batched unordered dispatch** — cells ship in chunks over
-  ``imap_unordered``; the deterministic cell order of the returned
-  :class:`SweepResults` is reconstructed from cache keys, so results
-  stay bit-identical to serial runs;
+* **unordered dispatch** — cells ship to whichever worker frees up;
+  the deterministic cell order of the returned :class:`SweepResults`
+  is reconstructed from cache keys, so results stay bit-identical to
+  serial runs (retried cells re-simulate deterministically, so even a
+  chaos-ridden run converges to the same bytes);
 * **streaming** — store records are written as results arrive (by the
   worker itself for disk stores, so cached results never cross the
   IPC boundary), and the optional ``on_result`` callback sees
@@ -37,16 +44,24 @@ hatch).
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import sys
-from time import perf_counter, process_time
+import traceback
+from time import perf_counter, process_time, sleep
 from typing import Callable, Sequence
 
 from repro.server.experiment import ExperimentResult
 from repro.server.recycle import CheckpointError
+from repro.sweep import chaos
 from repro.sweep.spec import ExperimentSpec, SweepSpec
 from repro.sweep.store import ResultStore
+from repro.sweep.supervisor import (
+    KIND_ERROR,
+    AttemptFailure,
+    CellPolicy,
+    QuarantinedCell,
+    QuarantineExhausted,
+    SweepSupervisor,
+)
 
 
 class SweepCellError(RuntimeError):
@@ -143,20 +158,38 @@ def clear_warm_machines() -> None:
 _HIT, _STORED, _FRESH = "hit", "stored", "fresh"
 
 
-def _cell_task(payload):
-    """Pool task: run one cell; returns (key, status, result, timings).
+def _cell_label(spec) -> str:
+    """A human-readable cell name that never raises (quarantine reports)."""
+    try:
+        return spec.label()
+    except Exception:
+        try:
+            return (
+                f"{spec.config}/{spec.scenario or spec.workload}"
+                f"@{spec.qps:g}/seed{spec.seed}"
+            )
+        except Exception:
+            return type(spec).__name__
 
-    ``payload`` is ``(spec, store_root)``. With a disk store the
-    worker short-circuits locally: if the record already exists (for
-    example a concurrent sweep sharing the store produced it after
-    this run's cache pre-pass), nothing is simulated and no result is
-    shipped back — the parent re-reads it from disk. Freshly simulated
-    results are persisted worker-side, streaming the store writes
-    instead of funnelling them through the parent.
+
+def _cell_task(payload, attempt: int = 1):
+    """Worker task: run one cell; returns (key, status, result, timings).
+
+    ``payload`` is ``(spec, store_root)``; ``attempt`` is the 1-based
+    attempt number the supervisor is on (feeds the deterministic chaos
+    rolls, so a cell that was killed on attempt 1 rolls fresh dice on
+    attempt 2). With a disk store the worker short-circuits locally:
+    if the record already exists (for example a concurrent sweep
+    sharing the store produced it after this run's cache pre-pass),
+    nothing is simulated and no result is shipped back — the parent
+    re-reads it from disk. Freshly simulated results are persisted
+    worker-side, streaming the store writes instead of funnelling them
+    through the parent.
     """
     spec, store_root = payload
     try:
         key = spec.key()
+        chaos.on_cell_start(key, attempt)
         store = None
         if store_root is not None:
             store = _worker_store(store_root)
@@ -202,35 +235,26 @@ def _cell_task(payload):
         ) from error
 
 
-def _chunksize(n_pending: int, workers: int) -> int:
-    """Batch size for pool dispatch.
-
-    With real parallelism available, chunks stay small so the wide
-    per-cell cost spread (idle cells are ~100x cheaper than loaded
-    ones) load-balances across the pool. When the pool is
-    oversubscribed (more workers than cores), time-slicing equalizes
-    the workers regardless, so load balance cannot pay — batch one
-    chunk per worker and spend the savings on fewer IPC round-trips.
-    """
-    if workers > (os.cpu_count() or 1):
-        return max(1, -(-n_pending // workers))
-    return max(1, min(8, n_pending // (workers * 4)))
-
-
 class SweepSession:
-    """A reusable sweep executor: one pool, warm workers, many runs.
+    """A reusable sweep executor: one supervised fleet, many runs.
 
     Parameters
     ----------
     workers:
-        Pool size; ``None`` uses :func:`default_workers` (one per
+        Fleet size; ``None`` uses :func:`default_workers` (one per
         core, ``REPRO_SWEEP_WORKERS`` override). 1 runs serially
-        in-process — with the same warm-machine reuse.
+        in-process — with the same warm-machine reuse and the same
+        retry/quarantine policy (minus deadlines: there is no second
+        process to do the killing).
     store:
         Default result store for runs that do not pass their own.
+    policy:
+        Retry/deadline/quarantine policy for cells
+        (default :class:`CellPolicy`).
     """
 
-    def __init__(self, workers: int | None = None, store=None):
+    def __init__(self, workers: int | None = None, store=None,
+                 policy: CellPolicy | None = None):
         if workers is None:
             from repro.sweep.runner import default_workers
 
@@ -239,51 +263,43 @@ class SweepSession:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.store = store
-        self._pool = None
-        self._pool_size = 0
+        self.policy = policy if policy is not None else CellPolicy()
+        self._supervisor: SweepSupervisor | None = None
         self._last_parallelism = 1
         self._closed = False
+        self._serial_faults = {"retries": 0, "quarantined": 0}
         #: Accounting for the most recent :meth:`run` (consumed by the
-        #: sweep throughput bench): build/simulate split, dispatch
-        #: counts, wall time.
+        #: sweep throughput bench and ``--stats-json``): build/simulate
+        #: split, dispatch counts, wall time, fault counters.
         self.last_run_stats: dict[str, float | int] = {}
 
     # -- lifecycle -------------------------------------------------------
-    def _ensure_pool(self, n_pending: int):
-        """A pool big enough for ``n_pending`` cells, forked lazily.
+    def _ensure_supervisor(self, n_pending: int) -> SweepSupervisor:
+        """A supervisor sized for ``n_pending`` cells, spawned lazily.
 
-        The pool never exceeds the pending cell count — a
+        The fleet never exceeds the pending cell count — a
         mostly-cached sweep with two misses must not fork a per-core
-        pool for them. A persistent session whose later runs need more
-        workers than an earlier small run forked is regrown once
-        (trading that run's warm machines for the right parallelism).
+        fleet for them. A persistent session whose later runs need
+        more workers than an earlier small run used just grows the
+        fleet: existing workers (and their warm machines) stay.
         """
         if self._closed:
             raise RuntimeError("session is closed")
         size = min(self.workers, max(1, n_pending))
-        if self._pool is not None and self._pool_size < size:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        if self._pool is None:
-            # fork is cheapest and safe on Linux; elsewhere (macOS
-            # lists fork as available but it is unsafe with threaded
-            # BLAS) use spawn, the platform default.
-            ctx = multiprocessing.get_context(
-                "fork" if sys.platform.startswith("linux") else "spawn"
+        if self._supervisor is None:
+            self._supervisor = SweepSupervisor(
+                size, _cell_task, policy=self.policy
             )
-            self._pool = ctx.Pool(processes=size)
-            self._pool_size = size
-        return self._pool
+        else:
+            self._supervisor.grow_to(size)
+        return self._supervisor
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker fleet down (idempotent)."""
         self._closed = True
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-            self._pool_size = 0
+        if self._supervisor is not None:
+            self._supervisor.close()
+            self._supervisor = None
 
     def __enter__(self) -> "SweepSession":
         return self
@@ -306,17 +322,26 @@ class SweepSession:
         on_result: (
             Callable[[ExperimentSpec, ExperimentResult, bool], None] | None
         ) = None,
+        journal=None,
     ):
         """Run every cell; returns results in deterministic cell order.
 
         ``progress(spec)`` fires once per grid cell: cached and
-        duplicate cells during the cache pre-pass, simulated cells as
-        they finish (arrival order) — so a progress display's count
-        always reaches the grid size.
+        duplicate cells during the cache pre-pass, simulated (and
+        quarantined) cells as they settle (arrival order) — so a
+        progress display's count always reaches the grid size.
         ``on_result(spec, result, from_cache)`` fires in deterministic
         *cell* order, as early as each prefix completes — the
         streaming hook store/CSV writers use so a huge grid never
-        buffers in the consumer.
+        buffers in the consumer. Quarantined cells produce no
+        ``on_result`` call and no row; they are listed on
+        ``SweepResults.quarantined`` (and counted in
+        ``last_run_stats``) instead.
+        ``journal`` is an optional
+        :class:`~repro.sweep.journal.RunJournal`: every completed cell
+        key is appended (durably) as it settles, and cache hits that
+        were already journaled before this run are surfaced as
+        ``journal_skipped`` — the ``--resume`` accounting.
         """
         from repro.sweep.runner import SweepResults
 
@@ -324,8 +349,11 @@ class SweepSession:
             raise RuntimeError("session is closed")
         if store is None:
             store = self.store
+        policy = self.policy
         cells = spec.cells() if isinstance(spec, SweepSpec) else list(spec)
         wall_start = perf_counter()
+        journal_start = journal.completed if journal is not None else frozenset()
+        journal_skipped = 0
         by_key: dict[str, ExperimentResult] = {}
         pending_by_key: dict[str, ExperimentSpec] = {}
         cache_hits = 0
@@ -341,14 +369,21 @@ class SweepSession:
             if cached is not None:
                 by_key[key] = cached
                 cache_hits += 1
+                if key in journal_start:
+                    journal_skipped += 1
+                if journal is not None:
+                    journal.record(key, _cell_label(cell))
                 if progress is not None:
                     progress(cell)
             else:
                 pending_by_key[key] = cell
         pending = list(pending_by_key.values())
+        quarantined: list[QuarantinedCell] = []
+        quarantined_keys: set[str] = set()
 
-        # Ordered streaming: flush the longest completed prefix of the
-        # deterministic cell order to ``on_result`` after every arrival.
+        # Ordered streaming: flush the longest settled prefix of the
+        # deterministic cell order to ``on_result`` after every arrival
+        # (quarantined cells contribute no row and are skipped over).
         next_cell = 0
 
         def flush_ready() -> None:
@@ -357,55 +392,145 @@ class SweepSession:
                 return
             while next_cell < len(cells):
                 cell = cells[next_cell]
-                result = by_key.get(cell.key())
+                key = cell.key()
+                if key in quarantined_keys:
+                    next_cell += 1
+                    continue
+                result = by_key.get(key)
                 if result is None:
                     return
-                on_result(cell, result, cell.key() not in pending_by_key)
+                on_result(cell, result, key not in pending_by_key)
                 next_cell += 1
 
         flush_ready()
         build_s = 0.0
         simulate_s = 0.0
         worker_hits = 0
+        simulated = 0
         self._last_parallelism = 1
+        self._serial_faults = {"retries": 0, "quarantined": 0}
+        if self._supervisor is not None:
+            # Fault counters are per-run in last_run_stats.
+            self._supervisor.stats = SweepSupervisor._zero_stats()
         store_root = (str(store.root) if isinstance(store, ResultStore) else None)
-        for key, status, result, cell_build_s, cell_sim_s in self._execute(
-            pending, store_root, progress, pending_by_key
-        ):
-            build_s += cell_build_s
-            simulate_s += cell_sim_s
-            if status == _HIT:
-                # Another process produced the record after our cache
-                # pre-pass; read it from disk rather than re-simulating
-                # (and rather than shipping it over IPC).
-                result = store.get(key)
-                if result is None:  # racing deletion/corruption
-                    key, status, result, b, s = _cell_task((pending_by_key[key], None))
-                    build_s += b
-                    simulate_s += s
-                else:
-                    worker_hits += 1
-            by_key[key] = result
-            if store is not None and status == _FRESH:
-                store.put(key, result, spec=pending_by_key[key])
-            flush_ready()
-        ordered = [by_key[cell.key()] for cell in cells]
+        try:
+            for tag, body in self._execute(
+                pending, store_root, progress, pending_by_key
+            ):
+                if tag == "quarantined":
+                    quarantined.append(body)
+                    quarantined_keys.add(body.key)
+                    flush_ready()
+                    continue
+                key, status, result, cell_build_s, cell_sim_s = body
+                build_s += cell_build_s
+                simulate_s += cell_sim_s
+                if status == _HIT:
+                    # Another process produced the record after our
+                    # cache pre-pass; read it from disk rather than
+                    # re-simulating (and rather than shipping it over
+                    # IPC).
+                    result = store.get(key)
+                    if result is None:  # racing deletion/corruption
+                        cell = pending_by_key[key]
+                        tag, body = self._run_serial_cell(
+                            cell, (cell, None), policy
+                        )
+                        if tag == "quarantined":
+                            quarantined.append(body)
+                            quarantined_keys.add(key)
+                            flush_ready()
+                            continue
+                        key, status, result, b, s = body
+                        build_s += b
+                        simulate_s += s
+                    else:
+                        worker_hits += 1
+                if status != _HIT:
+                    simulated += 1
+                by_key[key] = result
+                if store is not None and status == _FRESH:
+                    store.put(key, result, spec=pending_by_key[key])
+                if journal is not None:
+                    journal.record(key, _cell_label(pending_by_key[key]))
+                flush_ready()
+        except QuarantineExhausted as error:
+            # The session-level contract for on_exhausted="raise" has
+            # always been SweepCellError; keep it.
+            raise SweepCellError(str(error)) from error
+        completed_cells = (
+            [c for c in cells if c.key() not in quarantined_keys]
+            if quarantined_keys
+            else cells
+        )
+        ordered = [by_key[cell.key()] for cell in completed_cells]
+        faults = SweepSupervisor._zero_stats()
+        if self._supervisor is not None:
+            faults.update(self._supervisor.stats)
+        faults["retries"] += self._serial_faults["retries"]
+        faults["quarantined"] += self._serial_faults["quarantined"]
         self.last_run_stats = {
             "cells": len(cells),
-            "unique_cells": len(by_key),
+            "unique_cells": len(by_key) + len(quarantined_keys),
             "cache_hits": cache_hits,
             "worker_store_hits": worker_hits,
             "dispatched": len(pending),
+            "simulated": simulated,
+            "journal_skipped": journal_skipped,
             # The parallelism actually used by this run (a persistent
-            # pool may be larger than a later, smaller run needed).
+            # fleet may be larger than a later, smaller run needed).
             "workers": self._last_parallelism,
             "build_s": build_s,
             "simulate_s": simulate_s,
             "wall_s": perf_counter() - wall_start,
+            **faults,
         }
-        return SweepResults(cells, ordered, cache_hits=cache_hits)
+        return SweepResults(
+            completed_cells,
+            ordered,
+            cache_hits=cache_hits,
+            quarantined=quarantined,
+        )
+
+    def _run_serial_cell(self, cell, payload, policy: CellPolicy):
+        """Run one cell in-process under the retry/quarantine policy.
+
+        Mirrors the supervised path for ``workers=1`` (and for the
+        parent-side fallback re-simulation), except that deadlines are
+        not enforced — there is no second process to kill a stuck
+        cell from.
+        """
+        failures: list[AttemptFailure] = []
+        attempt = 1
+        while True:
+            start = perf_counter()
+            try:
+                return "done", _cell_task(payload, attempt)
+            except Exception as error:
+                if policy.on_exhausted == "raise" and attempt > policy.max_retries:
+                    raise
+                detail = (
+                    f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+                )
+                failures.append(
+                    AttemptFailure(
+                        attempt, KIND_ERROR, detail, None,
+                        perf_counter() - start,
+                    )
+                )
+                if attempt > policy.max_retries:
+                    self._serial_faults["quarantined"] += 1
+                    return "quarantined", QuarantinedCell(
+                        cell.key(), _cell_label(cell), failures
+                    )
+                self._serial_faults["retries"] += 1
+                backoff = policy.backoff_for(attempt)
+                if backoff > 0:
+                    sleep(backoff)
+                attempt += 1
 
     def _execute(self, pending, store_root, progress, pending_by_key):
+        """Yield ("done", task-tuple) / ("quarantined", cell) events."""
         if not pending:
             return
         payloads = [(cell, store_root) for cell in pending]
@@ -413,14 +538,16 @@ class SweepSession:
             for cell, payload in zip(pending, payloads):
                 if progress is not None:
                     progress(cell)
-                yield _cell_task(payload)
+                yield self._run_serial_cell(cell, payload, self.policy)
             return
-        pool = self._ensure_pool(len(pending))
-        workers = self._pool_size
-        self._last_parallelism = workers
-        for item in pool.imap_unordered(
-            _cell_task, payloads, chunksize=_chunksize(len(pending), workers)
-        ):
+        supervisor = self._ensure_supervisor(len(pending))
+        self._last_parallelism = min(supervisor.size, len(pending))
+        items = [
+            (cell.key(), _cell_label(cell), payload)
+            for cell, payload in zip(pending, payloads)
+        ]
+        for tag, body in supervisor.run(items):
+            key = body.key if tag == "quarantined" else body[0]
             if progress is not None:
-                progress(pending_by_key[item[0]])
-            yield item
+                progress(pending_by_key[key])
+            yield tag, body

@@ -7,16 +7,27 @@ are single JSON files — human-inspectable, diff-able, and safe to
 commit next to the figures they produced. A :class:`MemoryStore`
 offers the same interface without touching disk (used to share
 measurements between benches inside one pytest session).
+
+Records carry a sha256 checksum over their payload; reads verify it,
+and a record that is truncated, garbled, or fails its checksum is
+*sidecar-quarantined* (moved to ``<store>/quarantine/``) and treated
+as a miss — the cell re-simulates and rewrites a good record, and the
+corrupt bytes stay inspectable instead of poisoning later runs.
+``repro store verify`` / ``repro store gc`` expose :meth:`verify` and
+:meth:`gc` for offline auditing and cleanup.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable
+
+from repro.sweep import chaos
 
 from repro.server.experiment import ExperimentResult
 from repro.server.stats import LatencySummary, MachineStats
@@ -24,9 +35,19 @@ from repro.sweep.spec import ExperimentSpec
 from repro.tracing.socwatch import OpportunityEstimate
 
 
+class StoreCorruption(ValueError):
+    """A store record exists on disk but cannot be trusted."""
+
+
 def result_to_dict(result: ExperimentResult) -> dict:
     """Plain-data form of a result (exact float round-trip via JSON)."""
     return asdict(result)
+
+
+def _checksum(payload: dict) -> str:
+    """sha256 over the canonical JSON form of a result payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def _encode_result(result) -> tuple[str, dict]:
@@ -266,26 +287,79 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Corrupt records moved aside by reads/verify this session.
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _read_record(self, path: Path) -> dict:
+        """Parse and integrity-check one record file.
+
+        Raises ``OSError`` (typically ``FileNotFoundError``) when the
+        file cannot be read at all, and :class:`StoreCorruption` when
+        it reads but is truncated, garbled, fails its checksum, or
+        does not decode into a known result type. Records predating
+        the checksum field (no ``sha256``) are accepted as-is.
+        """
+        try:
+            record = json.loads(path.read_text())
+        except ValueError as error:
+            raise StoreCorruption(
+                f"unparseable record {path.name}: {error}"
+            ) from None
+        if not isinstance(record, dict) or "result" not in record:
+            raise StoreCorruption(f"record {path.name} lacks a result payload")
+        expected = record.get("sha256")
+        if expected is not None and _checksum(record["result"]) != expected:
+            raise StoreCorruption(f"record {path.name} fails its checksum")
+        try:
+            _decode_result(record.get("kind"), record["result"])
+        except (ValueError, KeyError, TypeError) as error:
+            raise StoreCorruption(
+                f"record {path.name} does not decode: "
+                f"{type(error).__name__}: {error}"
+            ) from None
+        return record
+
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a corrupt record into ``quarantine/`` (never raises)."""
+        qdir = self.root / "quarantine"
+        target = qdir / f"{path.name}.corrupt"
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = qdir / f"{path.name}.corrupt.{suffix}"
+        try:
+            qdir.mkdir(exist_ok=True)
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing reader already moved it
+            return None
+        self.quarantined += 1
+        return target
+
     def get(self, key: str) -> ExperimentResult | None:
         """Load the cached result for ``key``, or None on a miss.
 
-        An unreadable or corrupt record (e.g. a crashed writer) is
-        treated as a miss — the cell is simply re-simulated and the
-        record rewritten.
+        A missing record is a plain miss. A record that exists but is
+        corrupt — truncated/garbage JSON, a failed checksum, a payload
+        that does not decode — is sidecar-quarantined and *then*
+        counted as a miss: the cell re-simulates and the rewritten
+        record replaces the bad one, while the corrupt bytes stay
+        inspectable under ``quarantine/``.
         """
         path = self._path(key)
         try:
-            record = json.loads(path.read_text())
-            result = _decode_result(record.get("kind"), record["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+            record = self._read_record(path)
+        except OSError:
+            self.misses += 1
+            return None
+        except StoreCorruption:
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return _decode_result(record.get("kind"), record["result"])
 
     def put(self, key: str, result: ExperimentResult,
             spec: ExperimentSpec | None = None) -> None:
@@ -303,10 +377,18 @@ class ResultStore:
         record = {
             "key": key,
             "kind": kind,
+            "sha256": _checksum(payload),
             "spec": spec.as_dict() if spec is not None else None,
             "result": payload,
         }
         path = self._path(key)
+        if chaos.torn_write(key):
+            # Injected fault: the on-disk state a crash mid-write would
+            # leave — a truncated record at the *final* path, which the
+            # checksum-verified read must quarantine, not trust.
+            blob = json.dumps(record, indent=1, sort_keys=True)
+            path.write_text(blob[: max(1, len(blob) // 2)])
+            return
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             tmp.write_text(json.dumps(record, indent=1, sort_keys=True))
@@ -314,6 +396,60 @@ class ResultStore:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
+
+    def verify(self, quarantine: bool = True) -> dict:
+        """Integrity-check every record; optionally quarantine bad ones.
+
+        Returns a report dict: ``checked``/``ok``/``legacy`` counts
+        (legacy = readable records predating the checksum field) and a
+        ``corrupt`` list of ``{"file", "error"}`` entries. With
+        ``quarantine=True`` (the default, what ``repro store verify``
+        uses) corrupt records are moved into ``quarantine/`` so the
+        next sweep re-simulates those cells.
+        """
+        report: dict = {"checked": 0, "ok": 0, "legacy": 0, "corrupt": []}
+        for path in sorted(self.root.glob("*.json")):
+            report["checked"] += 1
+            try:
+                record = self._read_record(path)
+            except OSError as error:  # pragma: no cover - racing delete
+                report["corrupt"].append(
+                    {"file": path.name, "error": f"unreadable: {error}"}
+                )
+                continue
+            except StoreCorruption as error:
+                report["corrupt"].append({"file": path.name, "error": str(error)})
+                if quarantine:
+                    self._quarantine(path)
+                continue
+            report["ok"] += 1
+            if record.get("sha256") is None:
+                report["legacy"] += 1
+        return report
+
+    def gc(self) -> dict:
+        """Delete quarantined records and orphaned temp files.
+
+        Returns ``{"quarantine_removed": n, "tmp_removed": n}``. Temp
+        files are leftovers of writers that died between creating the
+        temp and the atomic replace; quarantined records have already
+        been re-simulated (or will be, as misses), so both are safe to
+        drop.
+        """
+        removed = {"quarantine_removed": 0, "tmp_removed": 0}
+        qdir = self.root / "quarantine"
+        if qdir.is_dir():
+            for path in qdir.iterdir():
+                path.unlink(missing_ok=True)
+                removed["quarantine_removed"] += 1
+            try:
+                qdir.rmdir()
+            except OSError:  # pragma: no cover - new arrivals mid-gc
+                pass
+        for tmp in self.root.glob("*.tmp"):
+            tmp.unlink(missing_ok=True)
+            removed["tmp_removed"] += 1
+        return removed
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

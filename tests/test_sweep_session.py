@@ -33,6 +33,7 @@ from repro.sweep import (
     result_to_dict,
 )
 from repro.sweep.session import _cell_task, clear_warm_machines
+from repro.sweep.supervisor import CellPolicy
 from repro.units import MS
 
 
@@ -256,13 +257,13 @@ class TestSweepSession:
             results = session.run(spec, store=store)
             assert results.cache_hits == len(spec)
             # Nothing was pending, so the session never paid a fork.
-            assert session._pool is None
+            assert session._supervisor is None
 
     def test_pool_sized_to_pending_cells(self, tmp_path):
         spec = short_grid(rates=(0,), configs=("CPC1A",), seeds=(1,))
         with SweepSession(workers=4) as session:
             session.run(spec)
-            assert session._pool is None  # one cell runs in-process
+            assert session._supervisor is None  # one cell runs in-process
 
     def test_failed_streaming_write_preserves_previous_csv(self, tmp_path):
         out = tmp_path / "grid.csv"
@@ -350,7 +351,8 @@ class TestWorkerExceptions:
 
         monkeypatch.setattr(api_module, "run_cell", boom)
         spec = short_grid(rates=(0,), configs=("CPC1A",), seeds=(5,))
-        with SweepSession(workers=1) as session:
+        policy = CellPolicy(max_retries=0, on_exhausted="raise")
+        with SweepSession(workers=1, policy=policy) as session:
             with pytest.raises(SweepCellError, match=r"CPC1A/idle/seed5"):
                 session.run(spec)
 
@@ -361,9 +363,38 @@ class TestWorkerExceptions:
             raise ValueError("the original reason")
 
         monkeypatch.setattr(api_module, "run_cell", boom)
-        with SweepSession(workers=1) as session:
+        policy = CellPolicy(max_retries=0, on_exhausted="raise")
+        with SweepSession(workers=1, policy=policy) as session:
             with pytest.raises(SweepCellError, match="the original reason"):
                 session.run(short_grid(rates=(0,), configs=("CPC1A",), seeds=(1,)))
+
+    def test_default_policy_quarantines_and_completes(self, monkeypatch):
+        """A deterministically failing cell is quarantined (with its
+        label and attempt history) while the rest of the grid
+        completes — the sweep degrades instead of aborting."""
+        import repro.api as api_module
+
+        real_run_cell = api_module.run_cell
+
+        def boom_on_seed5(spec, **kwargs):
+            if spec.seed == 5:
+                raise RuntimeError("injected failure")
+            return real_run_cell(spec, **kwargs)
+
+        monkeypatch.setattr(api_module, "run_cell", boom_on_seed5)
+        spec = short_grid(rates=(0,), configs=("CPC1A",), seeds=(1, 5))
+        policy = CellPolicy(max_retries=1, retry_backoff_s=0.0)
+        with SweepSession(workers=1, policy=policy) as session:
+            results = session.run(spec)
+        assert len(results) == 1
+        assert len(results.quarantined) == 1
+        bad = results.quarantined[0]
+        assert "seed5" in bad.label
+        assert len(bad.failures) == 2  # first attempt + one retry
+        assert all("injected failure" in f.detail for f in bad.failures)
+        stats = session.last_run_stats
+        assert stats["quarantined"] == 1
+        assert stats["retries"] == 1
 
 
 class TestNonRecyclableFallback:
