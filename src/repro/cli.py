@@ -828,6 +828,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         FleetSpec,
         flatten_fleet_result,
     )
+    from repro.props.builtin import CONTROL_PROP_NAMES
     from repro.units import US
 
     try:
@@ -836,26 +837,42 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         routings = tuple(r.strip() for r in args.routing.split(",") if r.strip())
         if not routings:
             raise SystemExit("--routing must list at least one policy")
+        controls = tuple(
+            c.strip() for c in args.control.split(",") if c.strip()
+        )
+        if not controls:
+            raise SystemExit("--control must list at least one policy")
         combos = _parse_set_args(args.set_props, fleet=True)
         clusters = []
         for config in _split_configs(args.configs):
             for routing in routings:
-                for combo in combos:
-                    machine_over, fleet_over = _split_scopes(combo)
-                    clusters.append(ClusterConfig(
-                        machine=config,
-                        n_servers=int(fleet_over.get(
-                            "fleet.n_servers", args.servers)),
-                        routing=str(fleet_over.get("fleet.routing", routing)),
-                        dispatch_latency_ns=int(fleet_over.get(
-                            "fleet.dispatch_latency_ns",
-                            int(args.dispatch_latency_us * US))),
-                        pack_watermark=int(fleet_over.get(
-                            "fleet.pack_watermark", args.pack_watermark)),
-                        props=machine_over,
-                    ))
-        # --set fleet.routing overrides the --routing axis, which
-        # would otherwise repeat identical clusters once per policy.
+                for control in controls:
+                    for combo in combos:
+                        machine_over, fleet_over = _split_scopes(combo)
+                        control_over = {
+                            k: v for k, v in fleet_over.items()
+                            if k in CONTROL_PROP_NAMES
+                        }
+                        clusters.append(ClusterConfig(
+                            machine=config,
+                            n_servers=int(fleet_over.get(
+                                "fleet.n_servers", args.servers)),
+                            routing=str(fleet_over.get(
+                                "fleet.routing", routing)),
+                            dispatch_latency_ns=int(fleet_over.get(
+                                "fleet.dispatch_latency_ns",
+                                int(args.dispatch_latency_us * US))),
+                            pack_watermark=int(fleet_over.get(
+                                "fleet.pack_watermark", args.pack_watermark)),
+                            props=machine_over,
+                            control=str(fleet_over.get(
+                                "fleet.control", control)),
+                            control_props=tuple(
+                                sorted(control_over.items())),
+                        ))
+        # --set fleet.routing / fleet.control override their axis
+        # flags, which would otherwise repeat identical clusters once
+        # per axis value.
         clusters = tuple(dict.fromkeys(clusters))
         spec = FleetSpec(
             workloads=points,
@@ -920,6 +937,37 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         rows,
     ))
     return exit_code
+
+
+def cmd_control(args: argparse.Namespace) -> int:
+    """Inspect the fleet-autoscaling controller registry."""
+    from repro.control import CONTROLLER_DEFS
+    from repro.props.builtin import CONTROL_PROP_NAMES
+
+    print(format_table(
+        ["policy", "description"],
+        [[d.name, d.doc] for d in CONTROLLER_DEFS],
+    ))
+    rows = []
+    for name in CONTROL_PROP_NAMES:
+        prop = get_prop(name)
+        unit = f" {prop.unit}" if prop.unit else ""
+        rows.append([
+            prop.name,
+            prop.allowed() + unit,
+            render_value(prop.default),
+            prop.doc,
+        ])
+    print()
+    print(format_table(
+        ["controller knob", "allowed", "default", "description"], rows
+    ))
+    print(
+        f"\n{len(CONTROLLER_DEFS)} policies; sweep with: repro fleet "
+        "--control <p1,p2,...> [--set fleet.slo_p99_ns=...]. "
+        "See docs/control.md."
+    )
+    return 0
 
 
 def cmd_store(args: argparse.Namespace) -> int:
@@ -1172,6 +1220,12 @@ def main(argv: Sequence[str] | None = None) -> int:
              "power-aware-spread)",
     )
     fleet_parser.add_argument(
+        "--control", default="static",
+        help="comma-separated autoscaling controllers "
+             "(static, slo-pack, sleepscale); knobs via --set "
+             "fleet.slo_p99_ns=... etc. — see 'repro control list'",
+    )
+    fleet_parser.add_argument(
         "--dispatch-latency-us", type=float, default=2.0,
         help="load-balancer hop added to every routed request (us)",
     )
@@ -1239,6 +1293,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     props_info.add_argument("name", help="property name (e.g. timer_tick_hz)")
     props_info.set_defaults(fn=cmd_props)
+
+    control_parser = sub.add_parser(
+        "control",
+        help="inspect the fleet-autoscaling controller registry",
+        description="SLO-constrained autoscaling controllers for "
+                    "'repro fleet --control': park/unpark servers and "
+                    "scale P-states against a latency SLO. "
+                    "See docs/control.md.",
+    )
+    control_parser.add_argument(
+        "action", nargs="?", default="list", choices=["list"],
+        help="what to do (only 'list' for now)",
+    )
+    control_parser.set_defaults(fn=cmd_control)
 
     store_parser = sub.add_parser(
         "store",

@@ -1,0 +1,47 @@
+"""`repro.control` — the SLO-constrained autoscaling control plane.
+
+A fleet with a non-``static`` ``ClusterConfig.control`` axis runs a
+:class:`~repro.control.plane.ControlPlane` inside the simulation: a
+periodic, deterministic controller tick that co-optimizes server
+park/unpark with per-server P-state speed scaling under a pooled-p99
+latency SLO, and owns the per-domain (DRAM / NIC / IO-link) low-power
+thresholds of long-parked servers.
+
+Layering rule: this package never imports :mod:`repro.fleet` — the
+fleet layer constructs the plane and hands it the live
+:class:`~repro.fleet.cluster.FleetMachine`, so the dependency arrow
+points one way (mirroring how :mod:`repro.props` stays below the
+fleet). See ``docs/control.md`` for the lifecycle model and the
+policy table.
+"""
+
+from repro.control.controllers import (
+    CONTROL_POLICIES,
+    CONTROLLER_DEFS,
+    Controller,
+    build_controller,
+)
+from repro.control.estimators import ArrivalEstimator, LatencyWindow
+from repro.control.plane import (
+    ACTIVE,
+    BOOTING,
+    DRAINING,
+    PARKED,
+    PHASE_NAMES,
+    ControlPlane,
+)
+
+__all__ = [
+    "ACTIVE",
+    "BOOTING",
+    "CONTROL_POLICIES",
+    "CONTROLLER_DEFS",
+    "Controller",
+    "ControlPlane",
+    "DRAINING",
+    "PARKED",
+    "PHASE_NAMES",
+    "ArrivalEstimator",
+    "LatencyWindow",
+    "build_controller",
+]

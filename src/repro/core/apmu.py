@@ -114,6 +114,7 @@ class Apmu(PackageController):
         self.gpmu_wakeup.watch(self._on_gpmu_wakeup)
         self._phase = "pc0"  # pc0 | acc1 | entering | pc1a | exiting
         self._wake_pending = False
+        self._held = False
         self._exit_branches_pending = 0
         self._wake_started_ns: int | None = None
         self.pc1a_entries = 0
@@ -137,11 +138,45 @@ class Apmu(PackageController):
         return self._phase
 
     def _trigger_exit(self) -> None:
+        if self._held:
+            # Firmware owns the uncore (deep park): the "wake" is the
+            # firmware's own forced transition, or a stray event to
+            # honour once the hold is released.
+            self._wake_pending = True
+            return
         if self._phase == "pc1a":
             self._begin_exit()
         elif self._phase == "entering":
             self._wake_pending = True
         # "exiting": nothing to do; waiters release at ACC1.
+
+    # -- firmware hold (deeper-than-PC1A descent) ---------------------------
+    def firmware_hold(self) -> bool:
+        """Freeze the APC while firmware drives the uncore deeper.
+
+        A fleet controller parking a server below PC1A (DRAM to
+        self-refresh, IO links to L1) must take this hold first: the
+        forced transitions pass through states the APMU reads as IO
+        wakes, and its exit flow would then stall forever waiting for
+        memory controllers that firmware is holding in self-refresh —
+        with the CLM ungated at full voltage the whole time. Legal
+        only from PC1A; returns False (retry later) otherwise.
+        """
+        if self._held:
+            return True
+        if self._phase != "pc1a":
+            return False
+        self._held = True
+        return True
+
+    def firmware_release(self) -> None:
+        """Release the hold; any wake seen while held fires now."""
+        if not self._held:
+            return
+        self._held = False
+        if self._wake_pending:
+            self._wake_pending = False
+            self._begin_exit()
 
     # -- wake sources ----------------------------------------------------
     def _on_link_wake(self, link_name: str) -> None:

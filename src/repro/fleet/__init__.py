@@ -26,7 +26,10 @@ actually harvest. This package simulates that interaction directly:
   rate sweep into the energy-proportionality analysis;
 - :class:`FleetSpec`/:class:`FleetCell` run fleet grids through
   :class:`~repro.sweep.session.SweepSession` with the same
-  determinism and caching guarantees as single-machine sweeps.
+  determinism and caching guarantees as single-machine sweeps;
+- the ``control`` axis attaches an autoscaling control plane
+  (:mod:`repro.control`) that parks/unparks servers and scales
+  P-states under an SLO constraint — see ``docs/control.md``.
 
 See ``docs/fleet.md`` for the full tour and ``repro fleet --help``
 for the CLI entry point.

@@ -38,6 +38,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.control.controllers import CONTROL_POLICIES
+from repro.control.plane import ControlPlane
 from repro.fleet.routing import ROUTING_POLICIES, LoadBalancer
 from repro.fleet.state import FleetState
 from repro.hw.signals import Signal
@@ -48,7 +50,12 @@ from repro.server.machine import ServerMachine
 from repro.server.recycle import MachineCheckpoint
 from repro.server.stats import MachineStats
 from repro.sim.engine import Simulator
-from repro.sweep.spec import PropPairs, merge_props, normalize_props
+from repro.sweep.spec import (
+    PropPairs,
+    merge_props,
+    normalize_control_props,
+    normalize_props,
+)
 from repro.units import US
 from repro.workloads.base import Request
 
@@ -93,6 +100,16 @@ class ClusterConfig:
     #: server (merged over — and winning against — ``props``). Empty
     #: means a homogeneous fleet.
     server_props: tuple[PropPairs, ...] = ()
+    #: Autoscaling controller (one of
+    #: :data:`repro.control.CONTROL_POLICIES`); ``static`` builds no
+    #: control plane at all, preserving the legacy event stream.
+    control: str = "static"
+    #: Controller knob overrides (``fleet.control_period_ns``,
+    #: ``fleet.slo_p99_ns``, ``fleet.park_*``, ``fleet.gate_*``) in
+    #: the canonical pairs :func:`normalize_control_props` produces.
+    #: Forced empty under ``static`` (no controller reads them), so
+    #: cache keys stay canonical.
+    control_props: PropPairs = ()
 
     def __post_init__(self) -> None:
         config_by_name(self.machine)  # friendly unknown-config error
@@ -101,6 +118,18 @@ class ClusterConfig:
             self,
             "server_props",
             tuple(normalize_props(p) for p in self.server_props),
+        )
+        if self.control not in CONTROL_POLICIES:
+            raise ValueError(
+                f"unknown control policy {self.control!r}; "
+                f"have {CONTROL_POLICIES}"
+            )
+        object.__setattr__(
+            self,
+            "control_props",
+            ()
+            if self.control == "static"
+            else normalize_control_props(self.control_props),
         )
         if self.n_servers < 1:
             raise ValueError(f"a fleet needs at least one server, got {self.n_servers}")
@@ -173,6 +202,8 @@ class ClusterConfig:
         if self.props:
             base = f"{base}+{render_overrides(dict(self.props))}"
         suffix = "/mixed" if self.server_props else ""
+        if self.control != "static":
+            suffix += f"/{self.control}"
         return f"{base}x{self.n_servers}/{self.routing}{suffix}"
 
     def as_dict(self) -> dict:
@@ -239,27 +270,40 @@ class FleetMachine:
             state=self.state,
         )
         self.received = 0
-        # Parked-server fast path: only machines whose idle periods are
-        # side-effect-free can be detached — tickless ones trivially,
+        # Parked-server bookkeeping: only machines whose idle periods
+        # are side-effect-free can be marked — tickless ones trivially,
         # nohz ones because a suppressed tick only bumps a counter
         # (credited in closed form). Legacy periodic ticks deliver work
-        # to idle cores, so those machines never park.
+        # to idle cores, so those machines never park. The *mask* (and
+        # its park-residency telemetry) is maintained unconditionally
+        # so sweep columns agree across REPRO_FLEET_PARK settings; the
+        # fast path — suspending tick events — additionally needs the
+        # A/B switch on.
         self._park_enabled = park_enabled()
-        self._parkable = [
-            self._park_enabled
-            and (machine.ticks is None or machine.ticks.mode == "nohz_idle")
+        self._maskable = [
+            machine.ticks is None or machine.ticks.mode == "nohz_idle"
             for machine in self.machines
+        ]
+        self._parkable = [
+            self._park_enabled and maskable for maskable in self._maskable
         ]
         self.balancer.on_wake = self._unpark
         self.balancer.on_drained = self._maybe_park
-        if self._park_enabled:
-            for index, machine in enumerate(self.machines):
-                if self._parkable[index]:
-                    machine.all_idle.watch(self._park_watch(index))
-                    # Servers idle from birth never see an all-idle
-                    # *transition*; park them now so a packed fleet's
-                    # untouched tail stays off the kernel entirely.
-                    self._maybe_park(index)
+        for index, machine in enumerate(self.machines):
+            if self._maskable[index]:
+                machine.all_idle.watch(self._park_watch(index))
+                # Servers idle from birth never see an all-idle
+                # *transition*; park them now so a packed fleet's
+                # untouched tail stays off the kernel entirely.
+                self._maybe_park(index)
+        #: The autoscaling control plane (None under ``static``, which
+        #: keeps the event stream byte-identical to the legacy path).
+        self.control: ControlPlane | None = None
+        if cluster.control != "static":
+            self.control = ControlPlane(
+                self, cluster.control, dict(cluster.control_props)
+            )
+            self.balancer.control_tap = self.control
 
     # -- warm reuse --------------------------------------------------------
     def checkpoint(self) -> None:
@@ -295,6 +339,20 @@ class FleetMachine:
             raise ValueError(
                 f"fleet was built with {len(self.machines)} servers; it "
                 f"cannot be recycled into {cluster.n_servers}"
+            )
+        if (
+            cluster.control != self.cluster.control
+            or cluster.control_props != self.cluster.control_props
+        ):
+            # The plane (controller object, knobs, tick period, boot
+            # channels) is construction-time state the checkpoint
+            # replays verbatim; unlike routing knobs it cannot be
+            # retargeted after restore.
+            raise ValueError(
+                f"fleet was built with control "
+                f"{self.cluster.control!r}{dict(self.cluster.control_props)}; "
+                f"it cannot be recycled into "
+                f"{cluster.control!r}{dict(cluster.control_props)}"
             )
         if cluster.server_props or self.cluster.server_props:
             mismatch = next(
@@ -342,23 +400,25 @@ class FleetMachine:
         """Park server ``index`` if it is fully idle with an empty queue."""
         state = self.state
         if (
-            not self._parkable[index]
+            not self._maskable[index]
             or state.parked[index]
             or state.outstanding[index] != 0
             or not self.machines[index].all_idle.value
         ):
             return
-        state.parked[index] = True
-        ticks = self.machines[index].ticks
-        if ticks is not None:
-            ticks.suspend()
+        state.note_park(index, self.sim.now)
+        if self._parkable[index]:
+            ticks = self.machines[index].ticks
+            if ticks is not None:
+                ticks.suspend()
 
     def _unpark(self, index: int) -> None:
         """Wake a parked server (the router is about to dispatch to it)."""
-        self.state.parked[index] = False
-        ticks = self.machines[index].ticks
-        if ticks is not None:
-            ticks.resume()
+        self.state.note_unpark(index, self.sim.now)
+        if self._parkable[index]:
+            ticks = self.machines[index].ticks
+            if ticks is not None:
+                ticks.resume()
 
     def sync_parked(self) -> None:
         """Settle parked servers' closed-form bookkeeping up to now.
@@ -373,14 +433,46 @@ class FleetMachine:
         if not state.parked.any():
             return
         for index in np.flatnonzero(state.parked):
+            if not self._parkable[index]:
+                continue  # masked but never suspended (REPRO_FLEET_PARK=0)
             ticks = self.machines[index].ticks
             if ticks is not None:
                 ticks.credit_suppressed()
 
     @property
     def parked_servers(self) -> int:
-        """Servers currently on the analytic fast path."""
-        return self.state.parked_count()
+        """Servers currently on the analytic fast path.
+
+        Counts only servers whose tick events are actually suspended:
+        with ``REPRO_FLEET_PARK`` off the mask (and its telemetry) is
+        still maintained, but nothing leaves the event kernel.
+        """
+        if not self._park_enabled:
+            return 0
+        return sum(
+            1
+            for index in np.flatnonzero(self.state.parked)
+            if self._parkable[index]
+        )
+
+    def active_servers(self) -> int:
+        """Servers not currently parked (the autoscaler's active set)."""
+        return self.n_servers - self.state.parked_count()
+
+    def park_telemetry(self, duration_ns: int) -> tuple[list[float], list[int]]:
+        """Per-server (parked-residency fraction, transition count).
+
+        Folds still-open parked spans up to now first, so calling it
+        at collection time (possibly more than once) is idempotent.
+        """
+        self.state.fold_park_residency(self.sim.now)
+        if duration_ns > 0:
+            residency = [
+                ns / duration_ns for ns in self.state.parked_ns.tolist()
+            ]
+        else:
+            residency = [0.0] * self.n_servers
+        return residency, self.state.park_transitions.tolist()
 
     # -- request path ------------------------------------------------------
     def inject(self, request: Request) -> None:
@@ -407,6 +499,9 @@ class FleetMachine:
             machine.begin_measurement(reset_channels=False)
         self.balancer.reset_counters()
         self.received = 0
+        self.state.reset_park_window(self.sim.now)
+        if self.control is not None:
+            self.control.begin_window()
 
     def run_for(self, duration_ns: int) -> None:
         """Advance the shared simulation by a fixed amount of time."""

@@ -74,6 +74,7 @@ def collect_fleet_result(
     # split the readout into per-server package/DRAM domains.
     readout = fleet.meter.readout()
     routed = fleet.balancer.routed
+    parked_residency, park_transitions = fleet.park_telemetry(duration_ns)
     servers = []
     for index, machine in enumerate(fleet.machines):
         package = readout.get(machine.package_domain)
@@ -87,6 +88,9 @@ def collect_fleet_result(
             utilization=machine.utilization(),
             package_residency=machine.package.residency.fractions(),
             latency=machine.latency.summary(machine.config.network_latency_ns),
+            park_transitions=park_transitions[index],
+            parked_residency=parked_residency[index],
+            pstate_residency=machine.pstate_residency(duration_ns),
         ))
     # The pooled distribution is computed from the concatenated raw
     # samples — exact percentiles, not a merge of per-server
@@ -119,5 +123,12 @@ def collect_fleet_result(
         utilization=sum(s.utilization for s in servers) / len(servers),
         latency=summarize_latency_ns(pooled_samples, network_latency_ns),
         servers=tuple(servers),
+        control=cluster.control,
+        slo_violations=(
+            fleet.control.slo_violations if fleet.control is not None else 0
+        ),
+        slo_windows=(
+            fleet.control.slo_windows if fleet.control is not None else 0
+        ),
         kernel=fleet.stats(),
     )

@@ -40,6 +40,13 @@ class ServerResult:
     utilization: float
     package_residency: dict[str, float]
     latency: LatencySummary
+    #: Park/unpark edges this server took during the window.
+    park_transitions: int = 0
+    #: Fraction of the window spent parked (mask raised).
+    parked_residency: float = 0.0
+    #: Fraction of the window at each P-state (zero entries omitted;
+    #: empty = spent entirely at the table's nominal state).
+    pstate_residency: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_power_w(self) -> float:
@@ -77,6 +84,12 @@ class FleetResult:
     #: Pooled end-to-end latency across all servers.
     latency: LatencySummary
     servers: tuple[ServerResult, ...]
+    #: Controller policy that drove the window (``static`` = none).
+    control: str = "static"
+    #: Control ticks whose windowed pooled-p99 exceeded the SLO.
+    slo_violations: int = 0
+    #: Control ticks that had any latency samples to judge.
+    slo_windows: int = 0
     # Shared-kernel health at collection time; diagnostics, not an
     # observable (excluded from equality like ExperimentResult.kernel).
     kernel: MachineStats | None = field(default=None, compare=False)
@@ -106,6 +119,14 @@ class FleetResult:
     def active_servers(self, min_utilization: float = 0.01) -> int:
         """Servers that did non-trivial work during the window."""
         return sum(1 for s in self.servers if s.utilization > min_utilization)
+
+    def parked_residency(self) -> float:
+        """Mean parked-time fraction across the fleet's servers."""
+        return sum(s.parked_residency for s in self.servers) / self.n_servers
+
+    def park_transitions(self) -> int:
+        """Total park/unpark edges across the fleet during the window."""
+        return sum(s.park_transitions for s in self.servers)
 
     # -- persistence -------------------------------------------------------
     def as_dict(self) -> dict:
@@ -168,6 +189,10 @@ FLEET_CSV_COLUMNS = (
     "mean_latency_us",
     "p99_latency_us",
     "requests_completed",
+    "control",
+    "parked_residency",
+    "park_transitions",
+    "slo_violations",
 )
 
 
@@ -201,4 +226,8 @@ def flatten_fleet_result(result: FleetResult, spec=None) -> dict:
         "mean_latency_us": round(result.latency.mean_us, 3),
         "p99_latency_us": round(result.latency.p99_us, 3),
         "requests_completed": result.requests_completed,
+        "control": result.control,
+        "parked_residency": round(result.parked_residency(), 6),
+        "park_transitions": result.park_transitions(),
+        "slo_violations": result.slo_violations,
     }

@@ -45,14 +45,43 @@ from repro.workloads.base import Request
 #: Policy signature: a pure decision over the fleet's array state.
 PolicyFn = Callable[[FleetState, "Request | None"], int]
 
+#: Outstanding-count sentinel that pushes unroutable servers past any
+#: real queue depth or watermark in the masked policy scans.
+_UNROUTABLE_PENALTY = np.int64(1) << 62
+
+
+def _masked_outstanding(state: FleetState) -> "np.ndarray | None":
+    """Outstanding counts with unroutable servers pushed to infinity.
+
+    Returns ``None`` when the controller holds *every* server out —
+    the policies then fall back to the unmasked scan rather than
+    dropping the request (the control plane guarantees this cannot happen
+    in steady state; it is reachable only transiently).
+    """
+    if state.n_unroutable >= state.n_servers:
+        return None
+    return np.where(state.unroutable, _UNROUTABLE_PENALTY, state.outstanding)
+
 
 def _round_robin(state: FleetState, request: "Request | None") -> int:
     """The classic even spread: cycle the cursor across the fleet."""
+    if state.n_unroutable:
+        candidates = np.flatnonzero(~state.unroutable)
+        if len(candidates):
+            start = state.cursor % state.n_servers
+            pos = int(np.searchsorted(candidates, start))
+            if pos == len(candidates):
+                pos = 0
+            return int(candidates[pos])
     return state.cursor % state.n_servers
 
 
 def _least_outstanding(state: FleetState, request: "Request | None") -> int:
     """Fewest in-flight requests wins; ties go to the lowest index."""
+    if state.n_unroutable:
+        masked = _masked_outstanding(state)
+        if masked is not None:
+            return int(np.argmin(masked))
     return int(np.argmin(state.outstanding))
 
 
@@ -63,11 +92,16 @@ def _power_aware_pack(state: FleetState, request: "Request | None") -> int:
     work, so the tail of the fleet sees unbroken idle. With every
     server at the watermark, fall back to least-outstanding.
     """
-    below = state.outstanding < state.pack_watermark
+    outstanding = state.outstanding
+    if state.n_unroutable:
+        masked = _masked_outstanding(state)
+        if masked is not None:
+            outstanding = masked
+    below = outstanding < state.pack_watermark
     index = int(np.argmax(below))
     if below[index]:
         return index
-    return int(np.argmin(state.outstanding))
+    return int(np.argmin(outstanding))
 
 
 def _power_aware_spread(state: FleetState, request: "Request | None") -> int:
@@ -77,6 +111,10 @@ def _power_aware_spread(state: FleetState, request: "Request | None") -> int:
     every server keeps waking, by design.
     """
     outstanding = state.outstanding
+    if state.n_unroutable:
+        masked = _masked_outstanding(state)
+        if masked is not None:
+            outstanding = masked
     candidates = np.flatnonzero(outstanding == outstanding.min())
     offsets = (candidates - state.cursor) % state.n_servers
     return int(candidates[np.argmin(offsets)])
@@ -145,6 +183,9 @@ class LoadBalancer:
         self.dispatched = 0
         self.on_wake: Callable[[int], None] | None = None
         self.on_drained: Callable[[int], None] | None = None
+        #: Optional control-plane observer (``observe_route`` /
+        #: ``observe_complete``); None keeps the legacy fast path.
+        self.control_tap = None
         for index, machine in enumerate(self.machines):
             machine.on_request_complete = self._completion_hook(index)
 
@@ -196,6 +237,8 @@ class LoadBalancer:
 
         def on_complete(request: Request) -> None:
             outstanding[index] -= 1
+            if self.control_tap is not None:
+                self.control_tap.observe_complete(index, request)
             if outstanding[index] == 0 and self.on_drained is not None:
                 self.on_drained(index)
 
@@ -221,6 +264,8 @@ class LoadBalancer:
         state.routed[index] += 1
         state.outstanding[index] += 1
         self.dispatched += 1
+        if self.control_tap is not None:
+            self.control_tap.observe_route(index, request)
         if state.parked[index] and self.on_wake is not None:
             self.on_wake(index)
         machine = self.machines[index]

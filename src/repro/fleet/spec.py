@@ -37,7 +37,10 @@ from repro.workloads.base import Workload
 #: instead of only the shared config name, so property hybrids and
 #: heterogeneous fleets cache correctly (and a preset vs its explicit
 #: property spelling share one entry).
-FLEET_SCHEMA_VERSION = 2
+#: v3: cells carry the autoscaling control axis (controller name +
+#: canonical controller-knob pairs) and results carry controller
+#: telemetry, so controlled and static runs can never alias.
+FLEET_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -61,6 +64,11 @@ class FleetCell:
     #: Per-server overrides (heterogeneous fleets); one entry per
     #: server, each merged over ``props``.
     server_props: tuple[PropPairs, ...] = ()
+    #: Autoscaling controller (``static`` = no control plane).
+    control: str = "static"
+    #: Controller knob overrides (canonicalized by the cluster:
+    #: non-default pairs only, forced empty under ``static``).
+    control_props: PropPairs = ()
 
     def __post_init__(self) -> None:
         workload, scenario = _normalize_scenario(self.workload, self.scenario)
@@ -72,9 +80,12 @@ class FleetCell:
             "server_props",
             tuple(normalize_props(p) for p in self.server_props),
         )
-        # Validates machine/n_servers/routing/dispatch latency and
-        # builds every per-server hybrid config once.
-        self.cluster()
+        # Validates machine/n_servers/routing/dispatch latency/control
+        # and builds every per-server hybrid config once. The cluster
+        # also canonicalizes the control axis; fold its normal form
+        # back so the cell's identity (and key payload) match it.
+        cluster = self.cluster()
+        object.__setattr__(self, "control_props", cluster.control_props)
         if self.duration_ns <= 0:
             raise ValueError(f"duration must be positive, got {self.duration_ns}")
         if self.warmup_ns < 0:
@@ -92,6 +103,8 @@ class FleetCell:
             pack_watermark=self.pack_watermark,
             props=self.props,
             server_props=self.server_props,
+            control=self.control,
+            control_props=self.control_props,
         )
 
     def build_workload(self) -> Workload:
@@ -111,12 +124,17 @@ class FleetCell:
         Routing policy, dispatch latency and pack watermark are
         balancer-only knobs (``FleetMachine.recycle`` retargets them),
         so they stay out of the slot — one warm fleet serves every
-        routing of the same servers. The leading ``"fleet"`` tag is
-        what the sweep session's warm-cache eviction keys on (a fleet
-        runtime pins N machines, so only a few stay warm at once).
+        routing of the same servers. The control axis is *in* the slot:
+        the plane (controller object, knobs, boot channels, tick) is
+        construction-time state a recycle replays verbatim, so cells
+        with different controllers need different warm fleets. Legacy
+        static cells all share ``("static", ())`` and behave exactly as
+        before. The leading ``"fleet"`` tag is what the sweep session's
+        warm-cache eviction keys on (a fleet runtime pins N machines,
+        so only a few stay warm at once).
         """
         return ("fleet", self.machine, self.props, self.server_props,
-                self.n_servers)
+                self.n_servers, self.control, self.control_props)
 
     def recycle(self, runtime: FleetMachine) -> None:
         """Rewind a checkpointed fleet into this cell's fresh state."""
@@ -225,6 +243,8 @@ class FleetCell:
             "seed": self.seed,
             "duration_ns": self.duration_ns,
             "warmup_ns": self.warmup_ns,
+            "control": self.control,
+            "control_props": dict(self.control_props),
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(blob.encode()).hexdigest()[:24]
@@ -313,6 +333,8 @@ class FleetSpec:
                             scenario=point.scenario,
                             props=cluster.props,
                             server_props=cluster.server_props,
+                            control=cluster.control,
+                            control_props=cluster.control_props,
                         ))
             object.__setattr__(self, "_expanded", cached)
         return list(cached)

@@ -47,6 +47,20 @@ class FleetState:
         Concurrent requests a server absorbs before
         ``power-aware-pack`` spills to the next one (already resolved:
         never 0).
+    unroutable:
+        Servers the balancer must skip (controller lifecycle: a server
+        draining toward park, parked by the controller, or still
+        booting). Only the control plane writes it, via
+        :meth:`set_unroutable`; ``n_unroutable`` mirrors its popcount
+        so policies can branch to the masked scan only when a
+        controller is actually holding servers out.
+    park_transitions / parked_ns / park_since:
+        Window-scoped park telemetry over the ``parked`` mask: edge
+        count, accumulated parked time, and the entry timestamp of the
+        current parked span (-1 while unparked). Maintained by the
+        fleet's park bookkeeping whether or not the fast path is
+        enabled, so sweep columns are stable across ``REPRO_FLEET_PARK``
+        settings.
     """
 
     __slots__ = (
@@ -56,6 +70,11 @@ class FleetState:
         "parked",
         "cursor",
         "pack_watermark",
+        "unroutable",
+        "n_unroutable",
+        "park_transitions",
+        "parked_ns",
+        "park_since",
     )
 
     def __init__(self, n_servers: int, pack_watermark: int = 1):
@@ -71,18 +90,62 @@ class FleetState:
         self.parked = np.zeros(n_servers, dtype=bool)
         self.cursor = 0
         self.pack_watermark = pack_watermark
+        self.unroutable = np.zeros(n_servers, dtype=bool)
+        self.n_unroutable = 0
+        self.park_transitions = np.zeros(n_servers, dtype=np.int64)
+        self.parked_ns = np.zeros(n_servers, dtype=np.int64)
+        self.park_since = np.full(n_servers, -1, dtype=np.int64)
 
     def reset_counters(self) -> None:
         """Zero the window-scoped tallies (measurement boundary).
 
         ``outstanding``, ``parked`` and ``cursor`` are live state, not
-        measurements, and are deliberately left alone.
+        measurements, and are deliberately left alone. Park telemetry
+        has its own boundary (:meth:`reset_park_window`) because it
+        needs the clock.
         """
         self.routed[:] = 0
 
     def parked_count(self) -> int:
         """Servers currently advanced analytically."""
         return int(self.parked.sum())
+
+    # -- routability (control-plane owned) ---------------------------------
+    def set_unroutable(self, index: int, flag: bool) -> None:
+        """Mark one server (un)routable, keeping the popcount in sync."""
+        if bool(self.unroutable[index]) == flag:
+            return
+        self.unroutable[index] = flag
+        self.n_unroutable += 1 if flag else -1
+
+    # -- park telemetry ----------------------------------------------------
+    def note_park(self, index: int, now: int) -> None:
+        """Record a park edge: flip the mask and open a parked span."""
+        self.parked[index] = True
+        self.park_transitions[index] += 1
+        self.park_since[index] = now
+
+    def note_unpark(self, index: int, now: int) -> None:
+        """Record an unpark edge: flip the mask and fold the span."""
+        self.parked[index] = False
+        self.park_transitions[index] += 1
+        since = self.park_since[index]
+        if since >= 0:
+            self.parked_ns[index] += now - since
+        self.park_since[index] = -1
+
+    def fold_park_residency(self, now: int) -> None:
+        """Fold still-open parked spans into ``parked_ns`` (idempotent)."""
+        open_spans = self.parked & (self.park_since >= 0)
+        self.parked_ns[open_spans] += now - self.park_since[open_spans]
+        self.park_since[open_spans] = now
+
+    def reset_park_window(self, now: int) -> None:
+        """Restart park telemetry at a measurement boundary."""
+        self.park_transitions[:] = 0
+        self.parked_ns[:] = 0
+        self.park_since[:] = -1
+        self.park_since[self.parked] = now
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -1,4 +1,4 @@
-"""The built-in rules (``RPR001``..``RPR006``).
+"""The built-in rules (``RPR001``..``RPR007``).
 
 Each rule enforces one of the repo's simulation invariants; the
 docstrings here are the catalog ``repro lint --explain`` and
@@ -585,3 +585,60 @@ def check_raw_machine_config(ctx: FileContext) -> Iterator[Finding]:
                 "(repro.props.apply_props / --set) so values are "
                 "validated and names stay canonical",
             )
+
+
+# -- RPR007 ----------------------------------------------------------------
+
+#: P-state ladder constructors; hand-rolling one outside the table
+#: module bypasses the ladder's validation (monotonic frequencies,
+#: nominal membership) and the ``pstate.table`` registry row that keys
+#: sweep caches.
+_PSTATE_CONSTRUCTORS = frozenset({"PStateTable", "PState"})
+
+
+def _in_pstate_layer(ctx: FileContext) -> bool:
+    return _in_props_layer(ctx) or (
+        ctx.path.name == "pstates.py" and "soc" in ctx.path.parts
+    )
+
+
+@register_rule(
+    "RPR007",
+    name="raw-pstate-table",
+    summary="PStateTable/PState constructed outside the props/pstates layer",
+    domains=("sim", "tools"),
+)
+def check_raw_pstate_table(ctx: FileContext) -> Iterator[Finding]:
+    """Route P-state ladders through the registry, like configs.
+
+    The speed-scaling ladder a machine runs is a registered platform
+    property (``pstate.table`` selects a named ladder from
+    :data:`repro.soc.pstates.PSTATE_TABLES`; ``pstate.nominal`` picks
+    the boot state). Hand-constructing ``PStateTable(...)`` or
+    ``PState(...)`` elsewhere creates a ladder no property set can
+    name: sweep cache keys cannot see it, the controller's grid search
+    and the machine's repricing may disagree about what "nominal"
+    means, and the table's validation is bypassed. Select ladders via
+    ``--set pstate.table=...`` / ``apply_props`` instead; new ladders
+    belong in ``repro/soc/pstates.py`` next to the existing ones.
+
+    The property layer and ``repro/soc/pstates.py`` itself are exempt
+    by path; tests and benchmarks are outside the rule's domains.
+    """
+    if _in_pstate_layer(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if callee not in _PSTATE_CONSTRUCTORS:
+            continue
+        yield ctx.finding(
+            "RPR007", node,
+            f"{callee} constructed outside the props/pstates layer; "
+            "select a named ladder with pstate.table/pstate.nominal "
+            "(repro.props) so sweep keys and the control plane see it",
+        )

@@ -29,6 +29,7 @@ from repro.props.registry import register_prop
 from repro.server.dispatch import POLICIES as DISPATCH_POLICIES
 from repro.soc.cstates import ALL_CSTATES
 from repro.soc.governors import GOVERNOR_NAMES
+from repro.soc.pstates import PSTATE_NAMES, PSTATE_TABLE_NAMES
 
 # -- cpu scope: core C-state enables -----------------------------------------
 
@@ -103,6 +104,27 @@ class _CoreFreq:
     @staticmethod
     def set(fields: dict, value: float) -> None:
         fields["soc"] = replace(fields["soc"], core_freq_ghz=value)
+
+
+register_prop(
+    "pstate.table",
+    ptype=str,
+    scope="cpu",
+    default="skx",
+    choices=PSTATE_TABLE_NAMES,
+    field="pstate_table",
+    doc="named DVFS ladder available for P-state actuation",
+)
+
+register_prop(
+    "pstate.nominal",
+    ptype=str,
+    scope="cpu",
+    default="P1",
+    choices=PSTATE_NAMES,
+    field="pstate_nominal",
+    doc="P-state the machine boots in (the paper pins P1; Sec. 6)",
+)
 
 
 # -- package scope -----------------------------------------------------------
@@ -232,6 +254,120 @@ register_prop(
     minval=0,
     maxval=100_000,
     doc="requests a server absorbs before pack spills (0 = one per core)",
+)
+
+# The choices for fleet.control mirror repro.control.CONTROL_POLICIES
+# (pinned by test — importing the control package here would cycle
+# back through the fleet layer into this module).
+
+register_prop(
+    "fleet.control",
+    ptype=str,
+    scope="fleet",
+    default="static",
+    choices=("static", "slo-pack", "sleepscale"),
+    doc="autoscaling controller driving park/unpark and P-states",
+)
+
+register_prop(
+    "fleet.control_period_ns",
+    ptype=int,
+    scope="fleet",
+    default=200_000,
+    minval=10_000,
+    maxval=1_000_000_000,
+    unit="ns",
+    doc="control-plane tick period (decisions are tick-quantized)",
+)
+
+register_prop(
+    "fleet.slo_p99_ns",
+    ptype=int,
+    scope="fleet",
+    default=1_000_000,
+    minval=1,
+    maxval=1_000_000_000,
+    unit="ns",
+    doc="end-to-end p99 latency SLO the controller must respect",
+)
+
+register_prop(
+    "fleet.park_drain_ns",
+    ptype=int,
+    scope="fleet",
+    default=100_000,
+    minval=0,
+    maxval=10_000_000_000,
+    unit="ns",
+    doc="drain dwell after the last in-flight request before a server parks",
+)
+
+register_prop(
+    "fleet.park_boot_ns",
+    ptype=int,
+    scope="fleet",
+    default=500_000,
+    minval=0,
+    maxval=60_000_000_000,
+    unit="ns",
+    doc="boot/warm-up latency before an unparked server takes traffic",
+)
+
+register_prop(
+    "fleet.park_boot_w",
+    ptype=float,
+    scope="fleet",
+    default=10.0,
+    minval=0.0,
+    maxval=1_000.0,
+    unit="W",
+    doc="extra package power drawn for the whole boot/warm-up window",
+)
+
+register_prop(
+    "fleet.gate_dram_ns",
+    ptype=int,
+    scope="fleet",
+    default=0,
+    minval=0,
+    maxval=60_000_000_000,
+    unit="ns",
+    doc="parked dwell before DRAM drops to self-refresh (0 = never)",
+)
+
+register_prop(
+    "fleet.gate_nic_ns",
+    ptype=int,
+    scope="fleet",
+    default=0,
+    minval=0,
+    maxval=60_000_000_000,
+    unit="ns",
+    doc="parked dwell before the NIC link drops to L1 (0 = never)",
+)
+
+register_prop(
+    "fleet.gate_iolink_ns",
+    ptype=int,
+    scope="fleet",
+    default=0,
+    minval=0,
+    maxval=60_000_000_000,
+    unit="ns",
+    doc="parked dwell before non-NIC IO links drop to L1 (0 = never)",
+)
+
+#: The controller tuning knobs a ClusterConfig ``control_props`` pair
+#: list may set (everything control-scoped except the policy name).
+CONTROL_PROP_NAMES = (
+    "fleet.control_period_ns",
+    "fleet.slo_p99_ns",
+    "fleet.park_drain_ns",
+    "fleet.park_boot_ns",
+    "fleet.park_boot_w",
+    "fleet.gate_dram_ns",
+    "fleet.gate_nic_ns",
+    "fleet.gate_iolink_ns",
 )
 
 

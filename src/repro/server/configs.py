@@ -78,6 +78,12 @@ class MachineConfig:
     #: ``"periodic"`` ticks every core; ``"nohz_idle"`` suppresses
     #: ticks on idle cores (only meaningful when timer_tick_hz > 0).
     tick_mode: str = "periodic"
+    #: Named P-state ladder (:data:`repro.soc.pstates.PSTATE_TABLES`)
+    #: available for DVFS actuation on this machine.
+    pstate_table: str = "skx"
+    #: P-state the machine boots in. The paper pins "P1" (nominal) in
+    #: all measured configurations; controllers may move it at runtime.
+    pstate_nominal: str = "P1"
 
     def __post_init__(self) -> None:
         # Enum-like and ranged fields validate against the property
@@ -90,6 +96,8 @@ class MachineConfig:
             ("dispatch_policy", self.dispatch_policy),
             ("timer_tick_hz", self.timer_tick_hz),
             ("network_latency_ns", self.network_latency_ns),
+            ("pstate.table", self.pstate_table),
+            ("pstate.nominal", self.pstate_nominal),
         ):
             try:
                 get_prop(prop_name).validate(value)

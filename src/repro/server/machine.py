@@ -35,6 +35,7 @@ from repro.soc.governors import governor_for
 from repro.soc.gpmu import Gpmu
 from repro.soc.package import StaticPc0Controller
 from repro.soc.pll import Pll
+from repro.soc.pstates import pstate_table_by_name
 from repro.tracing.idle import ActiveAfterIdleSampler, IdlePeriodTracker
 from repro.tracing.socwatch import SocWatchView
 from repro.workloads.base import Request
@@ -156,6 +157,16 @@ class ServerMachine:
             )
             for index in range(soc.n_cores)
         ]
+        # DVFS: the machine boots in config.pstate_nominal and tracks
+        # per-P-state residency; controllers move it via set_pstate().
+        self.pstates = pstate_table_by_name(config.pstate_table)
+        self._pstate = self.pstates.by_name(config.pstate_nominal)
+        self._pstate_since = self.sim.now
+        self.pstate_ns: dict[str, int] = {}
+        if self._pstate is not self.pstates.nominal:
+            scaled = self.pstates.scaled_core_spec(budget.core, self._pstate)
+            for core in self.cores:
+                core.set_spec(scaled)
         # Package controller.
         self.apmu: Apmu | None = None
         self.gpmu: Gpmu | None = None
@@ -258,7 +269,8 @@ class ServerMachine:
 
     def _dispatch(self, request: Request) -> None:
         core = self.dispatcher.pick()
-        job = Job(request, request.service_ns, on_complete=self._job_complete)
+        service_ns = self.pstates.scaled_service_ns(request.service_ns, self._pstate)
+        job = Job(request, service_ns, on_complete=self._job_complete)
         core.submit(job)
 
     def _job_complete(self, job: Job, now: int) -> None:
@@ -276,6 +288,52 @@ class ServerMachine:
         self.nic.send_response(request)
         if self.on_request_complete is not None:
             self.on_request_complete(request)
+
+    # -- DVFS actuation ------------------------------------------------------
+    @property
+    def pstate(self) -> str:
+        """The label of the machine's current P-state."""
+        return self._pstate.name
+
+    def set_pstate(self, name: str) -> None:
+        """Move every core to P-state ``name`` (a controller actuation).
+
+        Reprices active core power immediately and rescales the service
+        time of requests dispatched from now on; requests already
+        executing finish at the old speed (the granularity a per-job
+        DVFS model would need is beyond the paper's scope).
+        """
+        state = self.pstates.by_name(name)
+        if state is self._pstate:
+            return
+        self._fold_pstate_residency()
+        self._pstate = state
+        spec = (
+            self.budget.core
+            if state is self.pstates.nominal
+            else self.pstates.scaled_core_spec(self.budget.core, state)
+        )
+        for core in self.cores:
+            core.set_spec(spec)
+
+    def _fold_pstate_residency(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._pstate_since
+        if elapsed:
+            name = self._pstate.name
+            self.pstate_ns[name] = self.pstate_ns.get(name, 0) + elapsed
+        self._pstate_since = now
+
+    def pstate_residency(self, duration_ns: int) -> dict[str, float]:
+        """Fraction of the last ``duration_ns`` spent at each P-state."""
+        self._fold_pstate_residency()
+        if duration_ns <= 0:
+            return {}
+        return {
+            name: ns / duration_ns
+            for name, ns in sorted(self.pstate_ns.items())
+            if ns
+        }
 
     # -- measurement windows -----------------------------------------------
     def begin_measurement(self, *, reset_channels: bool = True) -> None:
@@ -300,6 +358,8 @@ class ServerMachine:
         self.nic.received = 0
         self.nic.responses_sent = 0
         self.package.residency.reset()
+        self.pstate_ns.clear()
+        self._pstate_since = self.sim.now
         for core in self.cores:
             core.residency.reset()
             core.jobs_completed = 0

@@ -117,6 +117,25 @@ class Core:
         """True while executing or holding queued work."""
         return self._mode == "active" or bool(self.queue)
 
+    def set_spec(self, spec: CorePowerSpec) -> None:
+        """Swap the core's power spec (a controller P-state change).
+
+        Reprices the power channel for the *current* life-cycle phase
+        immediately, so a mid-run DVFS actuation shows up in the
+        integrated energy from this instant on. Specs are frozen plain
+        data: the swap rebinds the reference (checkpoint-safe), never
+        mutates the shared baseline object.
+        """
+        if spec is self.spec:
+            return
+        self.spec = spec
+        if self._mode == "active":
+            self.channel.set_power(spec.cc0_w)
+        elif self._mode in ("entering", "waking"):
+            self.channel.set_power(spec.transition_w)
+        else:  # idle
+            self.channel.set_power(spec.for_state(self._cstate.name))
+
     # -- work submission -----------------------------------------------------
     def submit(self, job: Job) -> None:
         """Queue a job; wakes the core if it is idle."""

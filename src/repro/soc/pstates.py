@@ -108,6 +108,21 @@ class PStateTable:
             transition_w=base.transition_w * scale,
         )
 
+    def scaled_service_ns(self, service_ns: int, state: PState) -> int:
+        """``service_ns`` rescaled to ``state``, in whole nanoseconds.
+
+        Integer math with a fixed rounding rule (floor over kHz-exact
+        frequency ratios, clamped to >= 1 ns) so a controller-issued
+        P-state change keeps the simulation's determinism contract: at
+        the nominal state the ratio is exactly 1 and the service time
+        passes through bit-identically.
+        """
+        num = round(self.nominal.freq_ghz * 1000)
+        den = round(state.freq_ghz * 1000)
+        if num == den:
+            return service_ns
+        return max(1, (service_ns * num) // den)
+
 
 SKX_PSTATES = PStateTable(
     states=(
@@ -119,3 +134,24 @@ SKX_PSTATES = PStateTable(
     )
 )
 """The Xeon Silver 4114 ladder (0.8 GHz min, 2.2 GHz nominal)."""
+
+#: Named P-state ladders the ``pstate.table`` platform property can
+#: select. Construction of new tables belongs here or in the props
+#: layer (lint rule RPR007 flags raw ``PStateTable(...)`` elsewhere).
+PSTATE_TABLES: dict[str, PStateTable] = {"skx": SKX_PSTATES}
+
+PSTATE_TABLE_NAMES = tuple(PSTATE_TABLES)
+
+#: The P-state labels of the default ladder (``pstate.nominal`` choices).
+PSTATE_NAMES = tuple(state.name for state in SKX_PSTATES.states)
+
+
+def pstate_table_by_name(name: str) -> PStateTable:
+    """Look up a registered P-state ladder by name."""
+    try:
+        return PSTATE_TABLES[name]
+    except KeyError:
+        known = ", ".join(sorted(PSTATE_TABLES))
+        raise KeyError(
+            f"unknown P-state table {name!r}; known tables: {known}"
+        ) from None

@@ -35,7 +35,10 @@ if TYPE_CHECKING:
 #: of the config name, so a named preset and its explicit property
 #: spelling (e.g. ``CPC1A`` vs ``Cshallow + package_policy=pc1a``)
 #: share one cache entry.
-SCHEMA_VERSION = 3
+#: v4: the registry gained machine-scoped P-state rows (``pstate.table``,
+#: ``pstate.nominal``), so every resolved property set — and with it
+#: every cell key — changed content.
+SCHEMA_VERSION = 4
 
 #: A platform-property override value (parsed, not the CLI spelling).
 PropValue = bool | int | float | str
@@ -68,6 +71,41 @@ def normalize_props(props: Any) -> PropPairs:
             raise ValueError(f"duplicate property override '{name}'")
         seen[name] = prop.parse(value)
     return tuple(sorted(seen.items()))
+
+
+def normalize_control_props(props: Any) -> PropPairs:
+    """Canonicalize controller knob overrides into sorted pairs.
+
+    Accepts the same spellings as :func:`normalize_props`, but only
+    the fleet-scoped controller knobs
+    (:data:`repro.props.builtin.CONTROL_PROP_NAMES`). Pairs equal to
+    the registry default are dropped, so an explicit default and an
+    omitted knob resolve to the same cache key (the watermark-style
+    aliasing rule, applied at normalization time).
+    """
+    from repro.props.builtin import CONTROL_PROP_NAMES
+
+    if props is None:
+        return ()
+    pairs = props.items() if isinstance(props, dict) else props
+    seen: dict[str, PropValue] = {}
+    for pair in pairs:
+        name, value = pair
+        if name not in CONTROL_PROP_NAMES:
+            raise ValueError(
+                f"'{name}' is not a controller knob; control_props "
+                f"accepts {CONTROL_PROP_NAMES}"
+            )
+        if name in seen:
+            raise ValueError(f"duplicate property override '{name}'")
+        seen[name] = get_prop(name).parse(value)
+    return tuple(
+        sorted(
+            (name, value)
+            for name, value in seen.items()
+            if value != get_prop(name).default
+        )
+    )
 
 
 def merge_props(base: PropPairs, extra: PropPairs) -> PropPairs:

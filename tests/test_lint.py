@@ -35,9 +35,10 @@ def codes(findings, *, include_suppressed=False):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert sorted(RULES) == [
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007",
         ]
 
     def test_rules_carry_docs(self):
@@ -444,6 +445,59 @@ class TestRpr006RawMachineConfig:
         findings = lint_source(src, SIM_PATH)
         assert codes(findings) == []
         assert codes(findings, include_suppressed=True) == ["RPR006"]
+
+
+class TestRpr007RawPStateTable:
+    RAW = (
+        "from repro.soc.pstates import PState, PStateTable\n"
+        "\n"
+        "def build():\n"
+        "    return PStateTable(states=(\n"
+        "        PState('P1', freq_ghz=2.0, voltage_v=0.8),\n"
+        "    ))\n"
+    )
+
+    def test_raw_table_flagged_in_sim(self):
+        # Both constructors are flagged: the table and its one state.
+        assert codes(lint_source(self.RAW, SIM_PATH)) == ["RPR007", "RPR007"]
+
+    def test_raw_table_flagged_in_tools(self):
+        assert codes(lint_source(self.RAW, TOOL_PATH)) == ["RPR007", "RPR007"]
+
+    def test_test_domain_exempt(self):
+        assert codes(lint_source(self.RAW, TEST_PATH)) == []
+
+    def test_props_layer_exempt(self):
+        assert codes(lint_source(self.RAW, "src/repro/props/pset.py")) == []
+
+    def test_pstates_module_exempt(self):
+        # New ladders belong next to the existing ones.
+        path = "src/repro/soc/pstates.py"
+        assert codes(lint_source(self.RAW, path)) == []
+
+    def test_named_lookup_allowed(self):
+        src = (
+            "from repro.soc.pstates import pstate_table_by_name\n"
+            "\n"
+            "def pick():\n"
+            "    return pstate_table_by_name('skx')\n"
+        )
+        assert codes(lint_source(src, SIM_PATH)) == []
+
+    def test_suppression_marker_downgrades(self):
+        src = self.RAW.replace(
+            "    return PStateTable(states=(\n",
+            "    return PStateTable(states=(  # repro-lint: ignore[RPR007]\n",
+        ).replace(
+            "        PState('P1', freq_ghz=2.0, voltage_v=0.8),\n",
+            "        PState('P1', freq_ghz=2.0, voltage_v=0.8),"
+            "  # repro-lint: ignore[RPR007]\n",
+        )
+        findings = lint_source(src, SIM_PATH)
+        assert codes(findings) == []
+        assert codes(findings, include_suppressed=True) == [
+            "RPR007", "RPR007",
+        ]
 
 
 class TestRepoIsClean:

@@ -61,13 +61,24 @@ class TestRegistry:
             "cstates.cc1e.enable",
             "cstates.cc6.enable",
             "dispatch_policy",
+            "fleet.control",
+            "fleet.control_period_ns",
             "fleet.dispatch_latency_ns",
+            "fleet.gate_dram_ns",
+            "fleet.gate_iolink_ns",
+            "fleet.gate_nic_ns",
             "fleet.n_servers",
             "fleet.pack_watermark",
+            "fleet.park_boot_ns",
+            "fleet.park_boot_w",
+            "fleet.park_drain_ns",
             "fleet.routing",
+            "fleet.slo_p99_ns",
             "governor",
             "network_latency_ns",
             "package_policy",
+            "pstate.nominal",
+            "pstate.table",
             "soc.core_freq_ghz",
             "soc.n_cores",
             "tick_mode",
@@ -151,6 +162,17 @@ class TestRegistry:
 
     def test_dispatch_policy_choices_track_the_dispatch_table(self):
         assert get_prop("dispatch_policy").choices == DISPATCH_POLICIES
+
+    def test_fleet_control_choices_track_the_controller_table(self):
+        from repro.control.controllers import CONTROL_POLICIES
+
+        assert get_prop("fleet.control").choices == CONTROL_POLICIES
+
+    def test_pstate_choices_track_the_ladder_registry(self):
+        from repro.soc.pstates import PSTATE_NAMES, PSTATE_TABLE_NAMES
+
+        assert get_prop("pstate.table").choices == PSTATE_TABLE_NAMES
+        assert get_prop("pstate.nominal").choices == PSTATE_NAMES
 
 
 class TestPropertySet:

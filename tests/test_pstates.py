@@ -1,0 +1,173 @@
+"""P-state ladder math and idle-governor selection.
+
+The control plane's grid search and the machine's live repricing both
+lean on :class:`PStateTable` — ``power_scale``/``service_scale`` feed
+the SleepScale predictor, ``scaled_core_spec`` reprices active power
+mid-run, and ``scaled_service_ns`` stretches service times with a
+fixed integer rounding rule. These tests pin that math, the named
+ladder registry behind the ``pstate.table`` property, and the
+:class:`MenuGovernor` selection the speed-vs-sleep trade plays
+against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power.budgets import CorePowerSpec
+from repro.soc.cstates import CC1, CC1E, CC6
+from repro.soc.governors import MenuGovernor
+from repro.soc.pstates import (
+    PSTATE_NAMES,
+    PSTATE_TABLE_NAMES,
+    PState,
+    PStateTable,
+    SKX_PSTATES,
+    pstate_table_by_name,
+)
+from repro.units import MS, US
+
+
+class FakeCore:
+    def __init__(self, index: int = 0):
+        self.index = index
+
+
+class TestPStateTable:
+    def test_nominal_is_fastest(self):
+        assert SKX_PSTATES.nominal.name == "P1"
+        assert SKX_PSTATES.nominal.freq_ghz == 2.2
+
+    def test_ladder_must_be_ordered_fastest_first(self):
+        with pytest.raises(ValueError, match="fastest first"):
+            PStateTable(states=(
+                PState("a", freq_ghz=1.0, voltage_v=0.6),
+                PState("b", freq_ghz=2.0, voltage_v=0.8),
+            ))
+
+    def test_by_name_round_trips_every_state(self):
+        for state in SKX_PSTATES.states:
+            assert SKX_PSTATES.by_name(state.name) is state
+        with pytest.raises(KeyError):
+            SKX_PSTATES.by_name("Turbo")
+
+    def test_power_scale_is_identity_at_nominal(self):
+        assert SKX_PSTATES.power_scale(SKX_PSTATES.nominal) == pytest.approx(1.0)
+
+    def test_power_scale_matches_fv2_plus_leakage(self):
+        # Hand-computed f*v^2 dynamic share + v-proportional leakage.
+        table = SKX_PSTATES
+        nominal, state = table.nominal, table.by_name("P3")
+        dynamic = (state.freq_ghz / nominal.freq_ghz) * (
+            state.voltage_v / nominal.voltage_v
+        ) ** 2
+        leakage = state.voltage_v / nominal.voltage_v
+        expected = 0.75 * dynamic + 0.25 * leakage
+        assert table.power_scale(state) == pytest.approx(expected)
+
+    def test_power_scale_monotone_down_the_ladder(self):
+        scales = [SKX_PSTATES.power_scale(s) for s in SKX_PSTATES.states]
+        assert scales == sorted(scales, reverse=True)
+        assert scales[-1] < 0.5  # Pn is far below half of nominal power
+
+    def test_service_scale_is_inverse_frequency(self):
+        assert SKX_PSTATES.service_scale(SKX_PSTATES.nominal) == 1.0
+        assert SKX_PSTATES.service_scale(
+            SKX_PSTATES.by_name("Pn")
+        ) == pytest.approx(2.2 / 0.8)
+
+    def test_scaled_core_spec_rescales_active_power_only(self):
+        base = CorePowerSpec()
+        state = SKX_PSTATES.by_name("P4")
+        scale = SKX_PSTATES.power_scale(state)
+        scaled = SKX_PSTATES.scaled_core_spec(base, state)
+        assert scaled.cc0_w == pytest.approx(base.cc0_w * scale)
+        assert scaled.transition_w == pytest.approx(base.transition_w * scale)
+        # Idle draw is gated, not clocked: it must not scale.
+        assert scaled.cc1_w == base.cc1_w
+        assert scaled.cc1e_w == base.cc1e_w
+        assert scaled.cc6_w == base.cc6_w
+
+    def test_scaled_service_ns_identity_at_nominal(self):
+        # Bit-identical passthrough: the == fast path, not a rounding
+        # that happens to land on the input.
+        for service_ns in (1, 777, 10 * US, 3 * MS):
+            assert SKX_PSTATES.scaled_service_ns(
+                service_ns, SKX_PSTATES.nominal
+            ) == service_ns
+
+    def test_scaled_service_ns_uses_floor_over_khz_ratio(self):
+        state = SKX_PSTATES.by_name("Pn")  # 2200/800 = 2.75x
+        assert SKX_PSTATES.scaled_service_ns(1000, state) == 2750
+        assert SKX_PSTATES.scaled_service_ns(3, state) == (3 * 2200) // 800
+
+    def test_scaled_service_ns_clamps_to_one(self):
+        fast = PStateTable(states=(
+            PState("hi", freq_ghz=1.0, voltage_v=0.8),
+            PState("lo", freq_ghz=0.9, voltage_v=0.7),
+        ))
+        # 0 ns of work still takes a nonzero tick once scaled.
+        assert fast.scaled_service_ns(0, fast.by_name("lo")) == 1
+
+    def test_registry_names_pinned(self):
+        assert PSTATE_TABLE_NAMES == ("skx",)
+        assert PSTATE_NAMES == ("P1", "P2", "P3", "P4", "Pn")
+        assert pstate_table_by_name("skx") is SKX_PSTATES
+        with pytest.raises(KeyError, match="known tables: skx"):
+            pstate_table_by_name("icx")
+
+
+class TestMenuGovernorSelection:
+    def test_fresh_core_is_optimistic(self):
+        # No history: the initial prediction allows the deepest state.
+        governor = MenuGovernor()
+        assert governor.select(FakeCore()) is CC6
+
+    def test_short_idle_history_forces_shallow(self):
+        governor = MenuGovernor()
+        core = FakeCore()
+        for _ in range(8):
+            governor.observe_idle(core, 1 * US)
+        assert governor.predict_ns(core) == 1 * US
+        assert governor.select(core) is CC1
+
+    def test_medium_idle_history_picks_cc1e(self):
+        governor = MenuGovernor()
+        core = FakeCore()
+        for _ in range(8):
+            governor.observe_idle(core, 50 * US)
+        assert governor.select(core) is CC1E
+
+    def test_long_idle_history_reaches_cc6(self):
+        governor = MenuGovernor()
+        core = FakeCore()
+        for _ in range(8):
+            governor.observe_idle(core, 1 * MS)
+        assert governor.select(core) is CC6
+
+    def test_history_window_forgets_old_samples(self):
+        governor = MenuGovernor(history=4)
+        core = FakeCore()
+        for _ in range(4):
+            governor.observe_idle(core, 1 * MS)
+        for _ in range(4):
+            governor.observe_idle(core, 1 * US)
+        # The long idles have rolled out of the window entirely.
+        assert governor.predict_ns(core) == 1 * US
+        assert governor.select(core) is CC1
+
+    def test_per_core_histories_are_independent(self):
+        governor = MenuGovernor()
+        busy, quiet = FakeCore(0), FakeCore(1)
+        for _ in range(8):
+            governor.observe_idle(busy, 1 * US)
+            governor.observe_idle(quiet, 1 * MS)
+        assert governor.select(busy) is CC1
+        assert governor.select(quiet) is CC6
+
+    def test_disabled_deep_states_are_never_selected(self):
+        governor = MenuGovernor(enabled_states=(CC1, CC1E))
+        core = FakeCore()
+        for _ in range(8):
+            governor.observe_idle(core, 10 * MS)
+        assert governor.select(core) is CC1E
